@@ -1,0 +1,115 @@
+"""E-ablate — design-choice ablation: the trie advice (ComputeAdvice)
+against the two baselines the paper discusses.
+
+* full map (the classical knowledge assumption): Theta(m log n) bits;
+* naive rank labels (Section 3's strawman): the BFS tree must carry
+  Theta(n log n)-bit labels, so the advice grows super-linearly;
+* the trie advice: O(n log n) — the paper's contribution.
+
+All three elect in the same minimum time phi; the measured bits per
+scheme, across growing ring-of-cliques instances, regenerate the
+motivating comparison.  A second ablation re-runs Elect on the
+asynchronous engine, confirming the time-stamp simulation costs nothing
+in correctness or election time (only messages).
+"""
+
+from repro.analysis import format_table
+from repro.baselines import run_map_based, run_naive_rank
+from repro.core import compute_advice, run_elect
+from repro.lowerbounds import hk_graph
+
+from benchmarks.conftest import emit
+
+
+def test_table_ablation_schemes(benchmark):
+    rows = []
+    for k in (5, 8, 12, 16):
+        g = hk_graph(k)
+        trie = compute_advice(g).size_bits
+        map_bits = run_map_based(g).advice_bits
+        naive = run_naive_rank(g).advice_bits
+        rows.append((k, g.n, trie, map_bits, naive, round(naive / trie, 2)))
+    emit(
+        "ablation_advice_schemes",
+        "Ablation: advice bits per scheme (all elect in time phi = 1)",
+        format_table(
+            ["k", "n", "trie (paper)", "full map", "naive rank", "naive/trie"],
+            rows,
+        ),
+    )
+    # the naive/trie ratio must grow with the instance (the quadratic gap)
+    assert rows[-1][-1] > rows[0][-1]
+
+    g = hk_graph(8)
+    benchmark(lambda: run_naive_rank(g))
+
+
+def test_table_advice_breakdown(benchmark):
+    """Where the O(n log n) bits actually go: the component split of the
+    advice string.  The paper's Section 3 narrative — E1/E2 (item A1) are
+    the subtle part, but the BFS tree A2 with its short labels is the bulk
+    — made quantitative."""
+    from repro.core.advice import advice_breakdown
+    from repro.lowerbounds import necklace
+
+    rows = []
+    for name, g in (
+        ("hk-8 (phi=1)", hk_graph(8)),
+        ("hk-16 (phi=1)", hk_graph(16)),
+        ("necklace-5-2", necklace(5, 2)),
+        ("necklace-5-4", necklace(5, 4)),
+    ):
+        b = compute_advice(g)
+        d = advice_breakdown(b)
+        rows.append(
+            (
+                name,
+                g.n,
+                b.phi,
+                d["phi"],
+                d["E1_trie"],
+                d["E2_nested_tries"],
+                d["A2_bfs_tree"],
+                d["total_with_framing"],
+            )
+        )
+    emit(
+        "ablation_advice_breakdown",
+        "Advice component split (bits): Concat(bin(phi), A1=(E1,E2), A2)",
+        format_table(
+            ["graph", "n", "phi", "bin(phi)", "E1", "E2", "A2 tree", "total"],
+            rows,
+        ),
+    )
+    # E2 is empty exactly when phi = 1
+    assert rows[0][5] == 0 and rows[2][5] > 0
+
+    g = hk_graph(8)
+    benchmark(lambda: advice_breakdown(compute_advice(g)))
+
+
+def test_ablation_sync_vs_async(benchmark):
+    from repro.core.elect import ElectAlgorithm
+    from repro.core.verify import verify_election
+    from repro.sim import run_async, run_sync
+
+    g = hk_graph(6)
+    bundle = compute_advice(g)
+    sync = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+    async_ = run_async(g, ElectAlgorithm, advice=bundle.bits, seed=13)
+    assert sync.outputs == async_.outputs
+    assert sync.election_time == async_.election_time
+    assert verify_election(g, async_.outputs).leader == bundle.root
+    emit(
+        "ablation_sync_vs_async",
+        "Ablation: synchronous vs asynchronous execution of Elect",
+        format_table(
+            ["engine", "election time", "messages"],
+            [
+                ("synchronous", sync.election_time, sync.total_messages),
+                ("asynchronous (alpha-synchronizer)", async_.election_time, async_.total_messages),
+            ],
+        ),
+    )
+
+    benchmark(lambda: run_async(g, ElectAlgorithm, advice=bundle.bits, seed=13))

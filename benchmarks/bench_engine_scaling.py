@@ -1,0 +1,60 @@
+"""E-engine — simulator throughput: rounds/second and messages/second of
+the synchronous LOCAL engine under COM workloads, across topologies.
+
+Not a paper table; this is the substrate-health bench that keeps the
+simulator honest as the library grows (the per-round cost must stay
+O(m) thanks to view interning)."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.graphs import grid_torus, random_regular, ring
+from repro.sim import ViewAccumulator, run_sync
+
+from benchmarks.conftest import emit
+
+
+class ComRounds:
+    def __init__(self, rounds):
+        self._rounds = rounds
+        self._acc = None
+
+    def setup(self, ctx):
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx, inbox):
+        self._acc.absorb(inbox)
+        if self._acc.depth == self._rounds and not ctx.has_output:
+            ctx.output(())
+
+
+TOPOLOGIES = {
+    "ring-200": lambda: ring(200),
+    "torus-10x10": lambda: grid_torus(10, 10),
+    "random-regular-100-4": lambda: random_regular(100, 4, seed=3),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_engine_com_rounds(benchmark, name):
+    g = TOPOLOGIES[name]()
+    rounds = 10
+    result = benchmark(lambda: run_sync(g, lambda: ComRounds(rounds)))
+    assert result.rounds == rounds
+
+
+def test_engine_summary_table(benchmark):
+    rows = []
+    for name in sorted(TOPOLOGIES):
+        g = TOPOLOGIES[name]()
+        result = run_sync(g, lambda: ComRounds(10))
+        rows.append((name, g.n, g.num_edges, result.rounds, result.total_messages))
+    emit(
+        "engine_scaling",
+        "Engine: COM workload sizes (10 rounds to full output)",
+        format_table(["topology", "n", "m", "rounds", "messages"], rows),
+    )
+    benchmark(lambda: run_sync(ring(60), lambda: ComRounds(5)).rounds)

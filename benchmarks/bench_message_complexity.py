@@ -1,0 +1,72 @@
+"""E-msg — message complexity of the election algorithms.
+
+The paper bounds time only; here we account for what COM actually ships.
+A COM message carries an augmented truncated view, charged at its
+hash-consed DAG size (each distinct subview serialized once).  The table
+contrasts the three upper-bound algorithms on one graph: Elect stops the
+exchange at depth phi, so its information cost is tiny; Generic and
+KnownDPhi pay for D extra rounds of ever-deeper views — the *information*
+price of using less advice."""
+
+from repro.analysis import format_table
+from repro.core import compute_advice
+from repro.core.elect import ElectAlgorithm
+from repro.core.elections import election_advice, make_election_algorithm
+from repro.core.known_d_phi import KnownDPhiAlgorithm, known_d_phi_advice
+from repro.lowerbounds import necklace
+from repro.sim import run_sync
+from repro.sim.trace import Tracer
+from repro.views import election_index
+
+from benchmarks.conftest import emit
+
+
+def _run_traced(g, factory, advice):
+    tracer = Tracer()
+    result = run_sync(g, factory, advice=advice, tracer=tracer, max_rounds=200)
+    return result, tracer
+
+
+def test_table_message_complexity(benchmark):
+    phi = 3
+    g = necklace(4, phi)
+    d = g.diameter()
+
+    bundle = compute_advice(g)
+    rows = []
+    for name, factory, advice in (
+        ("Elect (time phi)", ElectAlgorithm, bundle.bits),
+        (
+            "Election1 (time <= D+phi+c)",
+            make_election_algorithm(1),
+            election_advice(phi, 1),
+        ),
+        ("KnownDPhi (time D+phi)", KnownDPhiAlgorithm, known_d_phi_advice(d, phi)),
+    ):
+        result, tracer = _run_traced(g, factory, advice)
+        s = tracer.summary()
+        rows.append(
+            (
+                name,
+                len(advice),
+                result.election_time,
+                s["messages"],
+                s["cost_dag_nodes"],
+                s["max_view_depth"],
+            )
+        )
+    emit(
+        "message_complexity",
+        f"Message complexity on a necklace (n={g.n}, phi={phi}, D={d}): "
+        "advice bits vs information shipped",
+        format_table(
+            ["algorithm", "advice bits", "rounds", "messages",
+             "cost (DAG nodes)", "max view depth"],
+            rows,
+        ),
+    )
+    # Elect ships far less information than the long-running algorithms
+    elect_cost = rows[0][4]
+    assert all(elect_cost < other[4] for other in rows[1:])
+
+    benchmark(lambda: _run_traced(g, ElectAlgorithm, bundle.bits)[0].rounds)

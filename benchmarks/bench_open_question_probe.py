@@ -1,0 +1,78 @@
+"""Open-question probe (Section 5): advice pressure for times strictly
+between phi and D + phi.
+
+The paper: "The intriguing open question ... is how the minimum size of
+advice behaves in the range of election time strictly between phi and
+D + phi."  We cannot answer it, but we can *measure* the pressure from
+the paper's own fooling-pair argument: on an exhaustively enumerated
+necklace family, members whose leaves share depth-tau views must receive
+pairwise distinct advice.  The table below shows the forced floor
+decaying as tau sweeps from phi (everything fooled — maximal advice)
+toward D + phi (nothing fooled — the logarithmic regime becomes
+possible)."""
+
+from repro.analysis import format_table
+from repro.lowerbounds.fooling import fooling_floor_curve, shared_view_nodes
+from repro.lowerbounds import necklace
+from repro.views import election_index
+
+from benchmarks.conftest import emit
+
+
+def test_open_question_probe(benchmark):
+    k, phi, x = 7, 3, 3
+    g = necklace(k, phi, x=x)
+    d = g.diameter()
+    taus = list(range(phi, min(d + phi, phi + 7) + 1))
+    points = fooling_floor_curve(k, phi, taus, x=x, limit=(x + 1) ** (k - 3))
+    rows = [
+        (
+            p.tau,
+            p.num_members,
+            p.num_leaf_view_classes,
+            p.max_class_size,
+            p.forced_advice_bits,
+        )
+        for p in points
+    ]
+    emit(
+        "open_question_probe",
+        f"Open question (Sec. 5): fooling floor vs time on N_{k} "
+        f"(phi={phi}, D={d}, {points[0].num_members} members enumerated)",
+        format_table(
+            ["tau", "members", "leaf-view classes", "max fooled class",
+             "forced bits"],
+            rows,
+        ),
+    )
+    # at tau = phi everything is mutually fooled; pressure decays
+    # monotonically and eventually releases completely
+    assert points[0].max_class_size == points[0].num_members
+    sizes = [p.max_class_size for p in points]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[-1] < sizes[0]
+
+    benchmark(
+        lambda: fooling_floor_curve(4, 2, [2, 3, 4], x=3, limit=16)
+    )
+
+
+def test_cross_graph_fooling_pairs(benchmark):
+    """The fooling-pair finder itself: two coded necklaces share exactly
+    the node pairs whose neighborhoods avoid the differing diamond."""
+
+    def check():
+        g1 = necklace(5, 2, code=[0, 1, 2, 0])
+        g2 = necklace(5, 2, code=[0, 3, 2, 0])
+        pairs = shared_view_nodes(g1, g2, depth=2)
+        assert pairs  # far-from-the-difference nodes are fooled
+        deep = shared_view_nodes(g1, g2, depth=8)
+        assert len(deep) < len(pairs)  # pressure decays with depth
+        return len(pairs), len(deep)
+
+    shallow, deep = benchmark(check)
+    emit(
+        "cross_graph_fooling",
+        "Fooling pairs between two coded necklaces, by view depth",
+        format_table(["depth", "fooling pairs"], [(2, shallow), (8, deep)]),
+    )

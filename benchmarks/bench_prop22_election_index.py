@@ -1,0 +1,59 @@
+"""E2.2 — Proposition 2.2: the election index is O(D log(n/D)).
+
+Sweep structured and random graphs, tabulating phi against the bound's
+envelope; the ratio must stay bounded (it is typically far below 1 —
+the proposition is a worst-case cap, met with near-equality by
+path-like graphs)."""
+
+import math
+
+from repro.analysis import format_table
+from repro.graphs import (
+    cycle_with_leader_gadget,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    random_regular,
+)
+from repro.lowerbounds import necklace
+from repro.views import election_index, is_feasible
+
+from benchmarks.conftest import emit
+
+
+def _corpus():
+    out = [
+        ("path-25", path_graph(25)),
+        ("pendant-ring-20", cycle_with_leader_gadget(20)),
+        ("lollipop-6-10", lollipop(6, 10)),
+        ("necklace-k4-phi5", necklace(4, 5)),
+        ("necklace-k6-phi3", necklace(6, 3)),
+    ]
+    for n, extra, seed in ((30, 20, 3), (40, 10, 4), (60, 45, 5)):
+        g = random_connected_graph(n, extra_edges=extra, seed=seed)
+        if is_feasible(g):
+            out.append((f"random-{n}", g))
+    g = random_regular(24, 3, seed=8)
+    if is_feasible(g):
+        out.append(("random-regular-24-3", g))
+    return out
+
+
+def test_table_prop22(benchmark):
+    rows = []
+    ratios = []
+    for name, g in _corpus():
+        phi = election_index(g)
+        d = g.diameter()
+        envelope = d * (math.log2(max(2.0, g.n / d)) + 1)
+        ratios.append(phi / envelope)
+        rows.append((name, g.n, d, phi, round(envelope, 1), round(phi / envelope, 3)))
+    emit(
+        "prop22_election_index",
+        "Proposition 2.2: phi vs the O(D log(n/D)) envelope",
+        format_table(["graph", "n", "D", "phi", "D lg(n/D)", "ratio"], rows),
+    )
+    assert max(ratios) <= 2.0  # generous constant for the O(.)
+
+    g = random_connected_graph(50, extra_edges=30, seed=9)
+    benchmark(lambda: election_index(g) if is_feasible(g) else 0)

@@ -1,0 +1,60 @@
+"""E4.3 — Proposition 4.1 (Figure 9): constant advice never suffices.
+
+The fooling construction, measured: for the master graph G assembled from
+gamma-stretches of c hairy rings, the foci deep inside each stretch carry
+views identical (to depth T) to nodes of the original rings — so an
+algorithm whose advice only distinguishes c cases commits to a too-short
+path at two far-apart foci and elects two different leaders.
+
+The table reports, per component ring H_j: the depth T up to which the
+focus is fooled, and the distance between two foci sharing a view —
+which exceeds any path length the fooled algorithm can output.
+"""
+
+from repro.analysis import format_table
+from repro.lowerbounds import gamma_stretch, hairy_ring, prop41_fooling_graph
+from repro.views import is_feasible, views_of_graph
+
+from benchmarks.conftest import emit
+
+FAMILIES = [[1, 2, 0, 3, 0], [0, 1, 3, 0, 2], [2, 0, 0, 4, 1]]
+
+
+def test_table_prop41(benchmark):
+    gamma = 8
+    g, layout = prop41_fooling_graph(FAMILIES, gamma=gamma, with_layout=True)
+    assert is_feasible(g)  # the master graph is itself in the class H
+
+    t = 4  # fooling depth for these component sizes
+    g_views = views_of_graph(g, t)
+    rows = []
+    for j, (sizes, starts) in enumerate(
+        zip(FAMILIES, layout.stretch_copy_starts)
+    ):
+        h = hairy_ring(sizes)
+        h_views = views_of_graph(h, t)
+        focus_a = starts[gamma // 2 - 1]
+        focus_b = starts[gamma // 2 + 1]
+        fooled_a = g_views[focus_a] is h_views[0]
+        fooled_b = g_views[focus_b] is h_views[0]
+        assert fooled_a and fooled_b
+        rows.append(
+            (
+                f"H_{j}",
+                h.n,
+                t,
+                g.distance(focus_a, focus_b),
+                "yes" if (fooled_a and fooled_b) else "NO",
+            )
+        )
+    emit(
+        "prop41_hairy_rings",
+        "Proposition 4.1: fooling foci in the master graph "
+        f"(n = {g.n}, gamma = {gamma}; both foci see the original ring)",
+        format_table(
+            ["component", "|H_j|", "fooling depth T", "dist(foci)", "fooled"],
+            rows,
+        ),
+    )
+
+    benchmark(lambda: views_of_graph(g, t)[0])

@@ -1,0 +1,61 @@
+"""E-scale — the Theorem 3.1 pipeline at four-digit n.
+
+The small-n corpus establishes correctness; this bench establishes that
+the O(n log n) envelope and the oracle's near-linear running time hold as
+n grows by two orders of magnitude, and that the end-to-end simulation
+(n nodes exchanging views) stays tractable.  The normalized constant
+bits/(n lg n) must be non-increasing with n (convergence toward the
+asymptotic constant)."""
+
+from repro.analysis import format_table
+from repro.core import compute_advice, run_elect
+from repro.lowerbounds import hk_graph, necklace
+
+from benchmarks.conftest import emit
+
+
+def test_scale_advice(benchmark):
+    rows = []
+    ratios = []
+    for k in (16, 64, 256):
+        g = hk_graph(k)
+        bundle = compute_advice(g)
+        ratio = bundle.size_bits / (g.n * max(1, (g.n).bit_length()))
+        ratios.append(ratio)
+        rows.append((f"hk-{k}", g.n, g.num_edges, bundle.size_bits, round(ratio, 2)))
+    for k, phi in ((32, 2), (64, 3)):
+        g = necklace(k, phi, x=4)
+        bundle = compute_advice(g)
+        ratio = bundle.size_bits / (g.n * max(1, (g.n).bit_length()))
+        rows.append(
+            (f"necklace-{k}-phi{phi}", g.n, g.num_edges, bundle.size_bits,
+             round(ratio, 2))
+        )
+    emit(
+        "scale_advice",
+        "Scale: ComputeAdvice at four-digit n (envelope constant must not "
+        "grow)",
+        format_table(["graph", "n", "m", "advice bits", "bits/(n lg n)"], rows),
+    )
+    assert ratios == sorted(ratios, reverse=True)
+
+    benchmark(lambda: compute_advice(hk_graph(64)).size_bits)
+
+
+def test_scale_end_to_end(benchmark):
+    """Full oracle + n-node simulation + verification at n ≈ 500."""
+    g = hk_graph(100)
+    rec = run_elect(g)
+    assert rec.n == g.n and rec.election_time == rec.phi
+    emit(
+        "scale_end_to_end",
+        "Scale: full Elect pipeline",
+        format_table(
+            ["n", "phi", "advice bits", "time", "messages"],
+            [(rec.n, rec.phi, rec.advice_bits, rec.election_time,
+              rec.total_messages)],
+        ),
+    )
+
+    small = hk_graph(24)
+    benchmark(lambda: run_elect(small).leader)

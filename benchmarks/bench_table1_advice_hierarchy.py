@@ -1,0 +1,59 @@
+"""T1 — the headline results table (abstract + Theorems 3.1/4.1/4.2):
+the minimum advice across the whole time spectrum, measured on one
+family.
+
+For a necklace of election index phi, the rows walk the time spectrum:
+
+  time phi         -> ComputeAdvice/Elect     (paper: ~linear in n)
+  time D + phi     -> (D, phi) advice         (paper: O(log D + log phi))
+  time D + phi + c -> Election1               (paper: Theta(log phi))
+  time D + c*phi   -> Election2               (paper: Theta(loglog phi))
+  time D + phi^c   -> Election3               (paper: Theta(logloglog phi))
+  time D + c^phi   -> Election4               (paper: Theta(log log* phi))
+
+The shape to confirm: the first big jump (linear-in-n down to
+logarithmic) happens between phi and D + phi, and afterwards each longer
+budget strictly never needs more advice.
+"""
+
+from repro.analysis import format_table
+from repro.core import run_elect, run_election_milestone, run_known_d_phi
+from repro.lowerbounds import necklace
+
+from benchmarks.conftest import emit
+
+
+def test_headline_table(benchmark):
+    phi = 3
+    g = necklace(5, phi)
+    d = g.diameter()
+
+    rows = []
+    elect = run_elect(g)
+    rows.append(("phi (minimum)", elect.election_time, elect.advice_bits, "~n lg n"))
+    kd = run_known_d_phi(g)
+    rows.append((f"D+phi", kd.election_time, kd.advice_bits, "O(lg D + lg phi)"))
+    for m, label, envelope in (
+        (1, "D+phi+c", "Theta(lg phi)"),
+        (2, "D+c*phi", "Theta(lglg phi)"),
+        (3, "D+phi^c", "Theta(lglglg phi)"),
+        (4, "D+c^phi", "Theta(lg lg* phi)"),
+    ):
+        rec = run_election_milestone(g, m, c=2)
+        rows.append((label, rec.election_time, rec.advice_bits, envelope))
+        assert rec.within_budget
+
+    emit(
+        "table1_advice_hierarchy",
+        f"Headline table: advice vs time on a necklace (n={g.n}, phi={phi}, "
+        f"D={d}, c=2)",
+        format_table(["time regime", "measured time", "advice bits", "paper"], rows),
+    )
+
+    # the first jump is the big one: minimum-time advice is orders larger
+    assert elect.advice_bits > 20 * kd.advice_bits
+    # beyond D+phi the advice is tiny and non-increasing in budget order
+    small = [r[2] for r in rows[2:]]
+    assert max(small) <= kd.advice_bits
+
+    benchmark(lambda: run_known_d_phi(g))

@@ -1,0 +1,68 @@
+"""E3.2 — Theorem 3.2 lower bound (Figure 1): the ring-of-cliques family
+G_k has election index 1 and forces Omega(n log log n) bits of advice.
+
+Regenerates the counting argument as a table: for growing k, the family
+size (k-1)!, the advice bits any algorithm is forced to use on some
+member, and the paper's n log log n comparator.  Also machine-verifies the
+structural claims (phi = 1, the Observation's view equality) on small
+members.
+"""
+
+from repro.analysis import format_table
+from repro.lowerbounds import hk_graph, thm32_lower_bound_bits
+from repro.lowerbounds.ring_of_cliques import hk_params
+from repro.views import election_index, views_of_graph
+
+from benchmarks.conftest import emit
+
+
+def test_table_thm32(benchmark):
+    rows = []
+    for k in (8, 16, 64, 256, 1024, 4096):
+        d = thm32_lower_bound_bits(k)
+        rows.append(
+            (
+                d["k"],
+                d["x"],
+                d["n"],
+                f"(k-1)! ~ 2^{d['advice_bits_forced']}",
+                d["advice_bits_forced"],
+                round(d["n_loglog_n"], 1),
+                round(d["ratio"], 3),
+            )
+        )
+    emit(
+        "thm32_lower_index1",
+        "Theorem 3.2: forced advice for election in time 1 on G_k "
+        "(paper: Omega(n log log n))",
+        format_table(
+            ["k", "x", "n", "family", "forced bits", "n lglg n", "ratio"], rows
+        ),
+    )
+    # the ratio forced-bits / (n log log n) must not vanish as k grows
+    ratios = [thm32_lower_bound_bits(k)["ratio"] for k in (64, 1024, 4096)]
+    assert min(ratios) > 0.05
+
+    # structural verification on a concrete member
+    g = hk_graph(8)
+    assert election_index(g) == 1
+
+    benchmark(lambda: election_index(hk_graph(12)))
+
+
+def test_observation_views(benchmark):
+    """Claim 3.9's Observation: attachment nodes of the same clique have
+    equal depth-1 views across family members — the fooling mechanism."""
+
+    def check():
+        k = 6
+        g1 = hk_graph(k, clique_indices=[0, 1, 2, 3, 4, 5])
+        g2 = hk_graph(k, clique_indices=[0, 3, 2, 5, 4, 1])
+        stride = hk_params(k) + 1
+        v1 = views_of_graph(g1, 1)
+        v2 = views_of_graph(g2, 1)
+        # clique 3 sits at slot 3 in g1 and slot 1 in g2
+        assert v1[3 * stride] is v2[1 * stride]
+        return True
+
+    assert benchmark(check)

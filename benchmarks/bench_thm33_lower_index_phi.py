@@ -1,0 +1,67 @@
+"""E3.3 — Theorem 3.3 lower bound (Figure 2): k-necklaces of election
+index phi force Omega(n (log log n)^2 / log n) bits.
+
+Table: family size (x+1)^{k-3}, forced bits, the paper's comparator; plus
+machine verification of Claim 3.10 (index exactly phi) and the
+Observation (leaf views coincide across codes) on small members.
+"""
+
+from repro.analysis import format_table
+from repro.lowerbounds import necklace, thm33_lower_bound_bits
+from repro.views import election_index, views_of_graph
+
+from benchmarks.conftest import emit
+
+
+def test_table_thm33(benchmark):
+    phi = 3
+    rows = []
+    for k, x in ((8, 4), (32, 4), (128, 5), (512, 6)):
+        d = thm33_lower_bound_bits(k, phi=phi, x=x)
+        rows.append(
+            (
+                d["k"],
+                d["x"],
+                d["phi"],
+                d["n"],
+                f"(x+1)^(k-3) ~ 2^{d['advice_bits_forced']}",
+                d["advice_bits_forced"],
+                round(d["comparator"], 1),
+                round(d["ratio"], 3),
+            )
+        )
+    emit(
+        "thm33_lower_index_phi",
+        "Theorem 3.3: forced advice for election in time phi on N_k "
+        "(paper: Omega(n (lglg n)^2 / lg n))",
+        format_table(
+            ["k", "x", "phi", "n", "family", "forced bits", "comparator", "ratio"],
+            rows,
+        ),
+    )
+    ratios = [r[-1] for r in rows]
+    assert min(ratios) > 0.05
+
+    benchmark(lambda: election_index(necklace(5, phi)))
+
+
+def test_claim310_and_observation(benchmark):
+    def check():
+        phi = 3
+        g1, l1 = necklace(5, phi, code=[0, 1, 3, 0], with_layout=True)
+        g2, l2 = necklace(5, phi, code=[0, 2, 0, 0], with_layout=True)
+        assert election_index(g1) == phi
+        assert election_index(g2) == phi
+        # leaves coincide across codes at depth phi (the Observation) ...
+        assert (
+            views_of_graph(g1, phi)[l1.left_leaf]
+            is views_of_graph(g2, phi)[l2.left_leaf]
+        )
+        # ... and within one graph they collide strictly below phi
+        assert (
+            views_of_graph(g1, phi - 1)[l1.left_leaf]
+            is views_of_graph(g1, phi - 1)[l1.right_leaf]
+        )
+        return True
+
+    assert benchmark(check)

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it prints the
+table (visible with ``pytest benchmarks/ --benchmark-only -s``) and also
+writes it to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote
+stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, title: str, body: str) -> None:
+    """Print a table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = f"== {title} ==\n{body}\n"
+    print("\n" + text)
+    (OUT_DIR / f"{name}.txt").write_text(text)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Port engineering: the election index as a deployment-time knob.
+
+The paper takes the port numbering as given by the adversary.  A network
+operator, however, often *chooses* it — and the choice decides both
+whether leader election is possible at all and how fast it can be.
+
+This walkthrough measures, for several topologies, the distribution of
+the election index over random port assignments and then searches for a
+good one — turning the paper's model parameter into an optimization.
+
+Run:  python examples/port_engineering.py
+"""
+
+from repro.analysis import format_table
+from repro.graphs import clique, grid_torus, lollipop, ring
+from repro.graphs.port_optimizer import optimize_ports, port_sensitivity
+from repro.views import election_index, is_feasible
+
+
+def main() -> None:
+    topologies = [
+        ("ring-7", ring(7)),
+        ("clique-5", clique(5)),
+        ("torus-3x3", grid_torus(3, 3)),
+        ("lollipop-4-3", lollipop(4, 3)),
+    ]
+
+    rows = []
+    for name, g in topologies:
+        canonical = election_index(g) if is_feasible(g) else None
+        hist = port_sensitivity(g, samples=25, seed=7)
+        feasible = {k: v for k, v in hist.items() if k is not None}
+        best = optimize_ports(g, restarts=25, seed=7)
+        rows.append(
+            (
+                name,
+                "infeasible" if canonical is None else canonical,
+                hist.get(None, 0),
+                min(feasible) if feasible else "-",
+                max(feasible) if feasible else "-",
+                best.phi if best.feasible else "infeasible",
+            )
+        )
+
+    print(format_table(
+        ["topology", "canonical phi", "infeasible/25", "best sampled phi",
+         "worst sampled phi", "optimized phi"],
+        rows,
+    ))
+    print(
+        "\nreading: every one of these vertex-transitive topologies is "
+        "infeasible only under\nits 'nice' canonical numbering — a random "
+        "re-numbering breaks the symmetry and\nmakes them electable, "
+        "usually within 1-2 rounds.  (Genuinely unbreakable symmetry\n"
+        "needs a topological obstruction, like the two-node graph, where "
+        "ports cannot help.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — reproduction of *Impact of Knowledge on Election Time in
+Anonymous Networks* (Dieudonné & Pelc, SPAA 2017; arXiv:1604.05023).
+
+Deterministic leader election with advice in anonymous port-numbered
+networks:
+
+* :mod:`repro.graphs` — port-numbered graph substrate and generators;
+* :mod:`repro.views` — augmented truncated views, election index phi;
+* :mod:`repro.sim` — LOCAL-model simulator (sync + async);
+* :mod:`repro.coding` — the advice binary codecs;
+* :mod:`repro.core` — ComputeAdvice/Elect (Theorem 3.1), Generic and
+  Election1..4 (Theorem 4.1), the D+phi remark, output verification;
+* :mod:`repro.baselines` — full-map / naive-rank / tree-no-advice;
+* :mod:`repro.lowerbounds` — every lower-bound family of Sections 3-4;
+* :mod:`repro.analysis` — sweeps and table rendering for the benches.
+
+Quickstart::
+
+    from repro import cycle_with_leader_gadget, run_elect
+    g = cycle_with_leader_gadget(8)     # a feasible anonymous network
+    record = run_elect(g)               # oracle + simulation + verification
+    print(record.phi, record.advice_bits, record.leader)
+"""
+
+from repro.errors import (
+    AdviceError,
+    AlgorithmError,
+    CodingError,
+    ElectionFailure,
+    GraphError,
+    InfeasibleGraphError,
+    ReproError,
+    SimulationError,
+)
+from repro.graphs import (
+    PortGraph,
+    PortGraphBuilder,
+    clique,
+    cycle_with_leader_gadget,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    random_regular,
+    ring,
+    star,
+)
+from repro.views import (
+    View,
+    election_index,
+    is_feasible,
+    truncate_view,
+    views_of_graph,
+)
+from repro.core import (
+    compute_advice,
+    run_elect,
+    run_election_milestone,
+    run_generic,
+    run_known_d_phi,
+    verify_election,
+)
+from repro.sim import AsyncEngine, SyncEngine, run_async, run_sync
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InfeasibleGraphError",
+    "CodingError",
+    "AdviceError",
+    "SimulationError",
+    "AlgorithmError",
+    "ElectionFailure",
+    "PortGraph",
+    "PortGraphBuilder",
+    "ring",
+    "path_graph",
+    "clique",
+    "star",
+    "hypercube",
+    "lollipop",
+    "cycle_with_leader_gadget",
+    "random_connected_graph",
+    "random_regular",
+    "View",
+    "views_of_graph",
+    "truncate_view",
+    "election_index",
+    "is_feasible",
+    "compute_advice",
+    "run_elect",
+    "run_generic",
+    "run_election_milestone",
+    "run_known_d_phi",
+    "verify_election",
+    "SyncEngine",
+    "AsyncEngine",
+    "run_sync",
+    "run_async",
+    "__version__",
+]

@@ -1,0 +1,107 @@
+"""Experiment sweeps: graph corpora with controlled parameters and the
+end-to-end measurement loop used by the benches.
+
+``corpus_default`` assembles a mixed bag of feasible graphs;
+``corpus_with_phi`` produces graphs of a *prescribed* election index
+(necklaces for phi >= 2, ring-of-cliques members for phi = 1 — the paper's
+own constructions double as the cleanest phi-controlled workload
+generators).  ``sweep_elect`` runs the full Theorem 3.1 pipeline over a
+corpus and reports advice size against the n log n envelope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.elect import run_elect
+from repro.graphs.generators import (
+    cycle_with_leader_gadget,
+    lollipop,
+    random_connected_graph,
+)
+from repro.graphs.port_graph import PortGraph
+from repro.lowerbounds.necklaces import necklace
+from repro.lowerbounds.ring_of_cliques import hk_graph
+from repro.views.election_index import is_feasible
+
+
+@dataclass
+class SweepRecord:
+    """One corpus point of a Theorem 3.1 sweep."""
+
+    name: str
+    n: int
+    phi: int
+    advice_bits: int
+    election_time: int
+    bits_per_nlogn: float
+
+
+def corpus_default(max_n: int = 60) -> List[Tuple[str, PortGraph]]:
+    """A mixed feasible corpus: pendant rings, lollipops, random graphs."""
+    corpus: List[Tuple[str, PortGraph]] = []
+    for n in (5, 8, 12, 17):
+        if n + 1 <= max_n:
+            corpus.append((f"pendant-ring-{n}", cycle_with_leader_gadget(n)))
+    for size, tail in ((4, 3), (5, 6)):
+        if size + tail <= max_n:
+            corpus.append((f"lollipop-{size}-{tail}", lollipop(size, tail)))
+    for n, extra, seed in ((10, 5, 1), (20, 12, 2), (35, 20, 3), (50, 35, 4)):
+        if n <= max_n:
+            g = random_connected_graph(n, extra_edges=extra, seed=seed)
+            if is_feasible(g):
+                corpus.append((f"random-{n}", g))
+    return corpus
+
+
+def corpus_with_phi(
+    phi: int, sizes: Sequence[int] = (4, 6, 8)
+) -> List[Tuple[str, PortGraph]]:
+    """Graphs of prescribed election index: H_k members for phi = 1,
+    necklaces for phi >= 2 (``sizes`` are the k parameters)."""
+    out: List[Tuple[str, PortGraph]] = []
+    if phi == 1:
+        for k in sizes:
+            out.append((f"ring-of-cliques-k{k}", hk_graph(k)))
+    else:
+        for k in sizes:
+            out.append((f"necklace-k{k}-phi{phi}", necklace(k, phi)))
+    return out
+
+
+def sweep_elect(
+    corpus: Sequence[Tuple[str, PortGraph]]
+) -> List[SweepRecord]:
+    """Run the Theorem 3.1 pipeline over a corpus."""
+    records: List[SweepRecord] = []
+    for name, g in corpus:
+        rec = run_elect(g)
+        envelope = g.n * max(1.0, math.log2(g.n))
+        records.append(
+            SweepRecord(
+                name=name,
+                n=g.n,
+                phi=rec.phi,
+                advice_bits=rec.advice_bits,
+                election_time=rec.election_time,
+                bits_per_nlogn=rec.advice_bits / envelope,
+            )
+        )
+    return records
+
+
+def fit_ratio(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit of ``y = a * x``; returns (a, max relative
+    deviation).  Used to check that measured advice sizes track the
+    paper's envelopes (an O(.) claim passes if the ratio stays bounded)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("fit_ratio needs equal-length non-empty series")
+    num = sum(x * y for x, y in zip(xs, ys))
+    den = sum(x * x for x in xs)
+    a = num / den if den else 0.0
+    max_dev = max(
+        abs(y - a * x) / (a * x) if a * x else 0.0 for x, y in zip(xs, ys)
+    )
+    return a, max_dev

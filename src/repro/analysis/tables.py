@@ -1,0 +1,44 @@
+"""Plain-text and markdown table rendering for bench output.
+
+The benches print the paper's tables/series shapes; these helpers keep
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[_stringify(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md snippets)."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(v) for v in row) + " |")
+    return "\n".join(lines)

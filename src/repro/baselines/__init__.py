@@ -1,0 +1,45 @@
+"""Baselines the paper compares against (explicitly or implicitly).
+
+* :mod:`map_based` — the classical knowledge regime ([44]/Proposition 2.1's
+  proof): give every node the full map; elect in minimum time phi with
+  Theta(m log n)-bit advice.  The contrast against ComputeAdvice's
+  O(n log n) bits is the point of the A1 trie machinery.
+* :mod:`naive_rank` — the strawman of Section 3: label nodes by the rank
+  of their view encodings and ship the labeled BFS tree; the labels are
+  Ω(n log n) bits *each*, so the advice balloons to Ω(n^2 log n) already
+  for phi = 1.
+* :mod:`tree_no_advice` — the [25] contrast the paper highlights: in
+  feasible *trees*, time D needs no advice at all, because every node can
+  fold its view back into the exact map of the tree.
+"""
+
+from repro.baselines.map_based import (
+    MapBasedAlgorithm,
+    map_advice,
+    run_map_based,
+)
+from repro.baselines.naive_rank import (
+    NaiveRankAlgorithm,
+    naive_rank_advice,
+    run_naive_rank,
+)
+from repro.baselines.tree_no_advice import TreeNoAdviceAlgorithm, run_tree_no_advice
+from repro.baselines.labeling_scheme import (
+    LabelingSchemeAlgorithm,
+    labeling_advice_map,
+    run_labeling_scheme,
+)
+
+__all__ = [
+    "LabelingSchemeAlgorithm",
+    "labeling_advice_map",
+    "run_labeling_scheme",
+    "MapBasedAlgorithm",
+    "map_advice",
+    "run_map_based",
+    "NaiveRankAlgorithm",
+    "naive_rank_advice",
+    "run_naive_rank",
+    "TreeNoAdviceAlgorithm",
+    "run_tree_no_advice",
+]

@@ -1,0 +1,129 @@
+"""Leader election in feasible trees with NO advice, in time D.
+
+The paper contrasts arbitrary graphs (where election with no advice is
+impossible — Proposition 4.1) with trees, where "for time equal to the
+diameter D, leader election can be done in feasible trees without any
+advice, as all nodes can reconstruct the map of the tree" (citing [25]).
+
+Reconstruction: in a tree, the view of u *folds* back into the tree — at
+every non-root view node the child through the arrival port is exactly
+the walk back to the parent, so pruning it leaves the genuine subtree.
+The fold succeeds (every pruned branch terminates at a degree-1 node)
+exactly when the view depth reaches ecc(u) <= D; no knowledge of D is
+needed — the node simply tries to fold after every round.  All nodes
+recover the *same* anonymous tree, compute its election index and views
+locally, and output a path to the node with the canonically smallest
+view — a common leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.baselines.map_based import _lex_shortest_port_path
+from repro.core.verify import verify_election
+from repro.errors import AlgorithmError, InfeasibleGraphError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.sim.com import ViewAccumulator
+from repro.sim.local_model import NodeContext, run_sync
+from repro.views.election_index import election_index
+from repro.views.order import view_min
+from repro.views.view import View, views_of_graph
+
+
+def _fold_children(view: View, arrival_port: Optional[int]):
+    """Try to fold a tree view: returns the list of
+    (my_port, remote_port, folded_child) for all ports except the arrival
+    port, or None if some branch runs out of depth before hitting a leaf.
+    """
+    if arrival_port is not None and view.degree == 1:
+        return []
+    if view.depth == 0:
+        return None  # unexplored ports remain
+    out = []
+    for p, (q, child) in enumerate(view.children):
+        if p == arrival_port:
+            continue
+        sub = _fold_children(child, q)
+        if sub is None:
+            return None
+        out.append((p, q, sub))
+    return out
+
+
+def _build_folded_tree(folded, root_degree: int) -> Tuple[PortGraph, int]:
+    """Materialize a successful fold as a PortGraph; returns (tree, root id)."""
+    b = PortGraphBuilder()
+    root = b.add_node()
+
+    def grow(node: int, children) -> None:
+        for p, q, sub in children:
+            child = b.add_node()
+            b.add_edge(node, p, child, q)
+            grow(child, sub)
+
+    grow(root, folded)
+    return b.build(), root
+
+
+class TreeNoAdviceAlgorithm:
+    """Per-node election for feasible trees; no advice used."""
+
+    def __init__(self):
+        self._acc: Optional[ViewAccumulator] = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        self._acc = ViewAccumulator(ctx.degree)
+        if ctx.degree == 0:
+            raise AlgorithmError("isolated node cannot take part in election")
+
+    def compose(self, ctx: NodeContext):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        self._acc.absorb(inbox)
+        if ctx.has_output:
+            return
+        folded = _fold_children(self._acc.view, None)
+        if folded is None:
+            return  # have not seen the whole tree yet
+        tree, me = _build_folded_tree(folded, ctx.degree)
+        try:
+            phi = election_index(tree)
+        except InfeasibleGraphError:
+            raise AlgorithmError(
+                "reconstructed tree is infeasible: no deterministic election "
+                "exists (run this baseline on feasible trees only)"
+            )
+        tree_views = views_of_graph(tree, phi)
+        leader_view = view_min(tree_views)
+        leader = next(v for v in tree.nodes() if tree_views[v] is leader_view)
+        ctx.output(_lex_shortest_port_path(tree, me, leader))
+
+
+@dataclass
+class TreeNoAdviceRecord:
+    n: int
+    diameter: int
+    election_time: int
+    leader: int
+
+
+def run_tree_no_advice(g: PortGraph) -> TreeNoAdviceRecord:
+    """Pipeline: simulate on a feasible tree, verify, assert time <= D."""
+    if g.num_edges != g.n - 1:
+        raise AlgorithmError("this baseline requires a tree")
+    diameter = g.diameter()
+    result = run_sync(g, TreeNoAdviceAlgorithm, advice=None, max_rounds=diameter + 1)
+    outcome = verify_election(g, result.outputs)
+    if result.election_time > diameter:
+        raise AlgorithmError(
+            f"tree election took {result.election_time} > D = {diameter}"
+        )
+    return TreeNoAdviceRecord(
+        n=g.n,
+        diameter=diameter,
+        election_time=result.election_time,
+        leader=outcome.leader,
+    )

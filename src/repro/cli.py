@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``index SPEC``
+    Feasibility and election index of a network.
+``elect SPEC``
+    Run the full Theorem 3.1 pipeline (oracle -> simulate -> verify).
+``spectrum SPEC``
+    The advice-vs-time table across all milestones.
+``quotient SPEC``
+    The view quotient (what symmetry remains).
+``report [--out FILE]``
+    Regenerate the small-scale experiment report (markdown).
+
+Graph SPECs
+-----------
+``name`` or ``name:a,b,key=val`` selects a generator with positional /
+keyword integer arguments, e.g.::
+
+    ring:8   necklace:5,3   lollipop:4,3   hk:6   random:20,extra_edges=10
+    wheel:6  caterpillar is not spec-able (needs a list) — use @file.json
+
+``@path.json`` loads a serialized port graph (see repro.graphs.to_json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.graphs import (
+    PortGraph,
+    clique,
+    complete_binary_tree,
+    cycle_with_leader_gadget,
+    from_json,
+    grid_torus,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    random_regular,
+    ring,
+    star,
+    wheel,
+)
+from repro.lowerbounds import hk_graph, necklace
+
+GENERATORS: Dict[str, Callable[..., PortGraph]] = {
+    "ring": ring,
+    "path": path_graph,
+    "clique": clique,
+    "star": star,
+    "wheel": wheel,
+    "hypercube": hypercube,
+    "torus": grid_torus,
+    "lollipop": lollipop,
+    "binary-tree": complete_binary_tree,
+    "gadget-ring": cycle_with_leader_gadget,
+    "random": random_connected_graph,
+    "random-regular": random_regular,
+    "hk": hk_graph,
+    "necklace": necklace,
+}
+
+
+def parse_graph_spec(spec: str) -> PortGraph:
+    """Parse a graph SPEC (see module docstring) into a PortGraph."""
+    if spec.startswith("@"):
+        with open(spec[1:], "r", encoding="utf-8") as fh:
+            return from_json(fh.read())
+    name, _, argtext = spec.partition(":")
+    if name not in GENERATORS:
+        raise ReproError(
+            f"unknown generator '{name}'; available: {', '.join(sorted(GENERATORS))}"
+        )
+    args: List[int] = []
+    kwargs: Dict[str, int] = {}
+    if argtext:
+        for token in argtext.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, _, value = token.partition("=")
+                kwargs[key.strip()] = int(value)
+            else:
+                args.append(int(token))
+    return GENERATORS[name](*args, **kwargs)
+
+
+# ----------------------------------------------------------------------
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.views import election_index, is_feasible
+
+    g = parse_graph_spec(args.spec)
+    print(f"n = {g.n}, m = {g.num_edges}, diameter = {g.diameter()}")
+    if is_feasible(g):
+        print(f"feasible; election index phi = {election_index(g)}")
+        return 0
+    print("INFEASIBLE: some nodes share all views; no deterministic "
+          "algorithm can elect, with any advice")
+    return 1
+
+
+def _cmd_elect(args: argparse.Namespace) -> int:
+    from repro.core import run_elect
+
+    g = parse_graph_spec(args.spec)
+    rec = run_elect(g)
+    print(f"n = {rec.n}, phi = {rec.phi}")
+    print(f"advice: {rec.advice_bits} bits")
+    print(f"elected node {rec.leader} in {rec.election_time} rounds "
+          f"({rec.total_messages} messages)")
+    return 0
+
+
+def _cmd_spectrum(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.core import run_elect, run_election_milestone, run_known_d_phi
+
+    g = parse_graph_spec(args.spec)
+    rows = []
+    e = run_elect(g)
+    rows.append(("phi (minimum)", e.election_time, e.advice_bits))
+    kd = run_known_d_phi(g)
+    rows.append(("D+phi", kd.election_time, kd.advice_bits))
+    for m, label in ((1, "D+phi+c"), (2, "D+c*phi"), (3, "D+phi^c"), (4, "D+c^phi")):
+        rec = run_election_milestone(g, m, c=args.c)
+        rows.append((label, rec.election_time, rec.advice_bits))
+    print(f"n = {g.n}, phi = {e.phi}, D = {g.diameter()}, c = {args.c}")
+    print(format_table(["time regime", "rounds", "advice bits"], rows))
+    return 0
+
+
+def _cmd_quotient(args: argparse.Namespace) -> int:
+    from repro.views.quotient import view_quotient
+
+    g = parse_graph_spec(args.spec)
+    q = view_quotient(g)
+    print(f"n = {g.n}; {q.num_classes} view classes "
+          f"(stabilized at depth {q.stabilization_depth})")
+    if q.is_discrete:
+        print("discrete: the graph is feasible")
+    else:
+        for i, members in enumerate(q.classes):
+            if len(members) > 1:
+                print(f"  class {i}: {len(members)} indistinguishable nodes "
+                      f"{members[:8]}{'...' if len(members) > 8 else ''}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leader election with advice in anonymous networks "
+        "(Dieudonné & Pelc, SPAA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("index", help="feasibility and election index")
+    p.add_argument("spec", help="graph spec, e.g. necklace:5,3 or @graph.json")
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("elect", help="run the minimum-time election pipeline")
+    p.add_argument("spec")
+    p.set_defaults(func=_cmd_elect)
+
+    p = sub.add_parser("spectrum", help="advice-vs-time table")
+    p.add_argument("spec")
+    p.add_argument("--c", type=int, default=2, help="the constant c > 1")
+    p.set_defaults(func=_cmd_spectrum)
+
+    p = sub.add_parser("quotient", help="view quotient / symmetry diagnosis")
+    p.add_argument("spec")
+    p.set_defaults(func=_cmd_quotient)
+
+    p = sub.add_parser("report", help="regenerate the experiment report")
+    p.add_argument("--out", default=None, help="write markdown to this file")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

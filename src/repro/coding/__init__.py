@@ -1,0 +1,39 @@
+"""Binary coding substrate.
+
+The oracle's advice is a *single binary string*; its size in bits is the
+quantity every theorem bounds.  This package implements, with exact
+decoders, every codec the paper uses:
+
+* :class:`Bits` — an immutable bitstring with O(1) length accounting;
+* ``Concat`` / ``Decode`` — the digit-doubling concatenation of
+  Section 3 (each bit doubled, components separated by ``01``);
+* integer codes ``bin(x)``;
+* the labeled-rooted-tree code for the BFS tree A2 (Proposition 3.1);
+* the trie code for E1 and the tries inside E2 (Proposition 3.2);
+* the nested-list code for E2 (Proposition 3.4).
+"""
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.coding.trees import LabeledRootedTree, decode_tree, encode_tree
+from repro.coding.tries import Trie, decode_trie, encode_trie, trie_leaf, trie_node
+from repro.coding.nested import decode_e2, encode_e2
+
+__all__ = [
+    "Bits",
+    "concat_bits",
+    "decode_concat",
+    "encode_uint",
+    "decode_uint",
+    "LabeledRootedTree",
+    "encode_tree",
+    "decode_tree",
+    "Trie",
+    "trie_leaf",
+    "trie_node",
+    "encode_trie",
+    "decode_trie",
+    "encode_e2",
+    "decode_e2",
+]

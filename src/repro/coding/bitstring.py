@@ -1,0 +1,105 @@
+"""An immutable bitstring.
+
+Backed by a Python ``str`` of ``'0'``/``'1'`` characters: advice strings in
+the experiments are at most a few megabits, for which the constant factors
+of ``str`` (interned, hashable, O(1) length, cheap slicing) beat a packed
+representation, and the representation is trivially debuggable.  The class
+exists so that "number of bits of advice" is a first-class, type-checked
+quantity rather than an ad-hoc ``len`` of who-knows-what.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.errors import CodingError
+
+BitsLike = Union["Bits", str, Iterable[int]]
+
+
+class Bits:
+    """Immutable sequence of bits."""
+
+    __slots__ = ("_s",)
+
+    def __init__(self, value: BitsLike = ""):
+        if isinstance(value, Bits):
+            self._s = value._s
+        elif isinstance(value, str):
+            if any(c not in "01" for c in value):
+                raise CodingError(
+                    f"bitstring literal may contain only '0'/'1', got {value!r}"
+                )
+            self._s = value
+        else:
+            chars = []
+            for b in value:
+                if b not in (0, 1):
+                    raise CodingError(f"bit values must be 0 or 1, got {b!r}")
+                chars.append("1" if b else "0")
+            self._s = "".join(chars)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_str(cls, s: str) -> "Bits":
+        """Construct from a '0'/'1' string."""
+        return cls(s)
+
+    @classmethod
+    def join(cls, parts: Iterable["Bits"]) -> "Bits":
+        """Concatenate many bitstrings efficiently."""
+        return cls("".join(p._s if isinstance(p, Bits) else Bits(p)._s for p in parts))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._s)
+
+    def __getitem__(self, index) -> Union[int, "Bits"]:
+        if isinstance(index, slice):
+            return Bits(self._s[index])
+        return 1 if self._s[index] == "1" else 0
+
+    def __iter__(self) -> Iterator[int]:
+        return (1 if c == "1" else 0 for c in self._s)
+
+    def __add__(self, other: BitsLike) -> "Bits":
+        other_b = other if isinstance(other, Bits) else Bits(other)
+        return Bits(self._s + other_b._s)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bits):
+            return self._s == other._s
+        if isinstance(other, str):
+            return self._s == other
+        return NotImplemented
+
+    def __lt__(self, other: "Bits") -> bool:
+        """Lexicographic order on bitstrings ('0' < '1', prefix first)."""
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return self._s < other._s
+
+    def __le__(self, other: "Bits") -> bool:
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return self._s <= other._s
+
+    def __hash__(self) -> int:
+        return hash(("Bits", self._s))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shown = self._s if len(self._s) <= 48 else self._s[:45] + "..."
+        return f"Bits('{shown}', len={len(self._s)})"
+
+    # ------------------------------------------------------------------
+    def as_str(self) -> str:
+        """The raw '0'/'1' string."""
+        return self._s
+
+    def bit(self, j: int) -> int:
+        """The j-th bit, **1-indexed** as in the paper's trie queries."""
+        if not (1 <= j <= len(self._s)):
+            raise CodingError(
+                f"bit index {j} out of range for bitstring of length {len(self._s)}"
+            )
+        return 1 if self._s[j - 1] == "1" else 0

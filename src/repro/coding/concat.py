@@ -1,0 +1,70 @@
+"""The paper's ``Concat``/``Decode`` codec (Section 3).
+
+``Concat(A_1, ..., A_k)`` doubles each digit of each component and inserts
+``01`` between consecutive components; e.g. ``Concat((01), (00)) =
+0011010000``.  Doubling makes the separator ``01`` (which never occurs at an
+even offset inside a doubled component) unambiguous, at a 2x + O(k) cost —
+the "constant factor" the paper notes.
+
+Corner case: the empty *sequence* and the sequence holding one empty
+component both encode to the empty string.  We decode the empty string as
+the empty sequence; every caller in this library wraps components in an
+outer ``Concat``, where empty components are delimited by separators and
+therefore round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.coding.bitstring import Bits
+from repro.errors import CodingError
+
+_SEPARATOR = "01"
+
+
+def concat_bits(components: Sequence[Bits]) -> Bits:
+    """Encode a sequence of bitstrings into one bitstring."""
+    doubled = []
+    for comp in components:
+        if not isinstance(comp, Bits):
+            raise CodingError(
+                f"concat_bits components must be Bits, got {type(comp).__name__}"
+            )
+        doubled.append("".join(c + c for c in comp.as_str()))
+    return Bits(_SEPARATOR.join(doubled))
+
+
+def decode_concat(encoded: Bits) -> List[Bits]:
+    """Decode the output of :func:`concat_bits`.
+
+    Raises :class:`CodingError` on any malformed input (odd trailing bit,
+    ``10`` pair, etc.), so corrupted advice is detected rather than
+    silently misread.
+    """
+    s = encoded.as_str()
+    if s == "":
+        return []
+    components: List[str] = []
+    current: List[str] = []
+    i = 0
+    n = len(s)
+    while i < n:
+        if i + 1 >= n:
+            raise CodingError(
+                f"dangling bit at offset {i}: doubled encoding must have even "
+                "pair structure"
+            )
+        pair = s[i : i + 2]
+        if pair == "00":
+            current.append("0")
+        elif pair == "11":
+            current.append("1")
+        elif pair == _SEPARATOR:
+            components.append("".join(current))
+            current = []
+        else:  # "10"
+            raise CodingError(f"invalid pair '10' at offset {i} in doubled encoding")
+        i += 2
+    components.append("".join(current))
+    return [Bits(c) for c in components]

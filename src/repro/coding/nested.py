@@ -1,0 +1,87 @@
+"""The nested-list code for advice item E2 (Proposition 3.4).
+
+E2 is a list of couples ``(i, L(i))`` for ``i = 2..phi``, where each
+``L(i)`` is a list of couples ``(j, T_j)`` with ``j`` an integer label and
+``T_j`` a trie discriminating the depth-``i`` views of the nodes whose
+depth-``(i-1)`` label is ``j``.
+
+Following the paper's ``bin(L)`` definition::
+
+    bin(L)    = Concat(bin(a_1), bin(L_1), ..., bin(a_k), bin(L_k))
+    bin(L_i)  = Concat(bin(b_1), bin(T_1), ..., bin(b_m), bin(T_m))
+
+with integer and trie codes from the sibling modules.  An empty list codes
+to the empty string (it is always wrapped by an outer Concat, so framing is
+preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.coding.tries import Trie, decode_trie, encode_trie
+from repro.errors import CodingError
+
+# E2 in structured form: ordered list of (depth, [(label, trie), ...]).
+E2Type = List[Tuple[int, List[Tuple[int, Trie]]]]
+
+
+def _encode_inner(inner: List[Tuple[int, Trie]]) -> Bits:
+    parts: List[Bits] = []
+    for label, trie in inner:
+        parts.append(encode_uint(label))
+        parts.append(encode_trie(trie))
+    return concat_bits(parts)
+
+
+def _decode_inner(bits: Bits) -> List[Tuple[int, Trie]]:
+    parts = decode_concat(bits)
+    if len(parts) % 2 != 0:
+        raise CodingError("inner E2 list must alternate label/trie codes")
+    result: List[Tuple[int, Trie]] = []
+    for k in range(0, len(parts), 2):
+        label = decode_uint(parts[k])
+        trie = decode_trie(parts[k + 1])
+        result.append((label, trie))
+    return result
+
+
+def encode_e2(e2: E2Type) -> Bits:
+    """``bin(E2)`` for the nested list E2."""
+    parts: List[Bits] = []
+    for depth, inner in e2:
+        parts.append(encode_uint(depth))
+        parts.append(_encode_inner(inner))
+    return concat_bits(parts)
+
+
+def decode_e2(bits: Bits) -> E2Type:
+    """Inverse of :func:`encode_e2`."""
+    parts = decode_concat(bits)
+    if len(parts) % 2 != 0:
+        raise CodingError("E2 code must alternate depth/inner-list codes")
+    result: E2Type = []
+    for k in range(0, len(parts), 2):
+        depth = decode_uint(parts[k])
+        inner = _decode_inner(parts[k + 1])
+        result.append((depth, inner))
+    return result
+
+
+def e2_as_maps(e2: E2Type) -> Dict[int, Dict[int, Trie]]:
+    """Convenience: E2 as {depth: {label: trie}} for O(1) lookups by
+    ``RetrieveLabel``.  Duplicate depths or labels are a corruption."""
+    out: Dict[int, Dict[int, Trie]] = {}
+    for depth, inner in e2:
+        if depth in out:
+            raise CodingError(f"duplicate depth {depth} in E2")
+        layer: Dict[int, Trie] = {}
+        for label, trie in inner:
+            if label in layer:
+                raise CodingError(f"duplicate label {label} at depth {depth} in E2")
+            layer[label] = trie
+        out[depth] = layer
+    return out

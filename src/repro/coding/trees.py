@@ -1,0 +1,170 @@
+"""Labeled rooted trees with port numbers, and their binary code.
+
+This is the carrier of advice item A2: the canonical BFS tree of the graph,
+whose nodes are labeled by the ``RetrieveLabel`` integers and whose edges
+carry the *graph's* port numbers at both endpoints.
+
+Code layout (a decodable variant of the paper's (S1, S2) DFS-walk code,
+same O(n log n) length class — see DESIGN.md "Substitutions"):
+
+    bin(T) = Concat(walk, labels)
+    walk   = Concat(step_1, ..., step_{2(n-1)})
+    step   = Concat(bin(0), bin(p), bin(q))   for a descent through ports
+             (p at parent, q at child), or
+             Concat(bin(1))                    for an ascent
+    labels = Concat(bin(l_1), ..., bin(l_n))   in DFS preorder
+
+where the DFS visits children in increasing order of the parent-side port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.errors import CodingError
+
+
+@dataclass
+class LabeledRootedTree:
+    """A rooted tree node: an integer label plus children reached through
+    port pairs ``(port_at_parent, port_at_child)``."""
+
+    label: int
+    children: List[Tuple[int, int, "LabeledRootedTree"]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_child(
+        self, port_parent: int, port_child: int, child: "LabeledRootedTree"
+    ) -> None:
+        self.children.append((port_parent, port_child, child))
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return 1 + sum(c.size() for _, _, c in self.children)
+
+    def iter_nodes(self) -> Iterator["LabeledRootedTree"]:
+        """DFS preorder over subtree nodes (children in port order)."""
+        yield self
+        for _, _, child in sorted(self.children, key=lambda t: t[0]):
+            yield from child.iter_nodes()
+
+    def labels(self) -> List[int]:
+        """All labels in DFS preorder."""
+        return [node.label for node in self.iter_nodes()]
+
+    # ------------------------------------------------------------------
+    def find_label(self, label: int) -> Optional["LabeledRootedTree"]:
+        """The unique node carrying ``label``, or None."""
+        for node in self.iter_nodes():
+            if node.label == label:
+                return node
+        return None
+
+    def path_to_root_ports(self, label: int) -> List[Tuple[int, int]]:
+        """Port pairs of the path *from the node labeled ``label`` up to the
+        root*, in the paper's output format ``[(p1, q1), ...]``: the i-th
+        edge is traversed from the current node through its local port
+        ``p_i``, arriving through port ``q_i`` at the other end.
+
+        Raises :class:`CodingError` if the label is absent.
+        """
+
+        def walk(node: "LabeledRootedTree") -> Optional[List[Tuple[int, int]]]:
+            if node.label == label:
+                return []
+            for port_parent, port_child, child in node.children:
+                rest = walk(child)
+                if rest is not None:
+                    # the upward step out of `child` uses the child's port
+                    # first, then the parent's port
+                    rest.append((port_child, port_parent))
+                    return rest
+            return None
+
+        result = walk(self)
+        if result is None:
+            raise CodingError(f"label {label} not present in tree")
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledRootedTree):
+            return NotImplemented
+        if self.label != other.label:
+            return False
+        mine = sorted(self.children, key=lambda t: t[0])
+        theirs = sorted(other.children, key=lambda t: t[0])
+        return mine == theirs
+
+    __hash__ = None  # type: ignore[assignment]  # mutable
+
+
+# ----------------------------------------------------------------------
+# codec
+# ----------------------------------------------------------------------
+def encode_tree(tree: LabeledRootedTree) -> Bits:
+    """Binary code of a labeled rooted tree (see module docstring)."""
+    steps: List[Bits] = []
+    labels: List[Bits] = []
+
+    def dfs(node: LabeledRootedTree) -> None:
+        labels.append(encode_uint(node.label))
+        for port_parent, port_child, child in sorted(
+            node.children, key=lambda t: t[0]
+        ):
+            steps.append(
+                concat_bits(
+                    [encode_uint(0), encode_uint(port_parent), encode_uint(port_child)]
+                )
+            )
+            dfs(child)
+            steps.append(concat_bits([encode_uint(1)]))
+
+    dfs(tree)
+    return concat_bits([concat_bits(steps), concat_bits(labels)])
+
+
+def decode_tree(bits: Bits) -> LabeledRootedTree:
+    """Inverse of :func:`encode_tree`."""
+    try:
+        walk_bits, labels_bits = decode_concat(bits)
+    except ValueError:
+        raise CodingError("tree code must have exactly two parts (walk, labels)")
+    steps = decode_concat(walk_bits) if len(walk_bits) else []
+    label_codes = decode_concat(labels_bits)
+    if not label_codes:
+        raise CodingError("tree code has no labels")
+    labels = [decode_uint(lc) for lc in label_codes]
+
+    label_iter = iter(labels)
+    root = LabeledRootedTree(next(label_iter))
+    stack = [root]
+    for step in steps:
+        fields = decode_concat(step)
+        kind = decode_uint(fields[0])
+        if kind == 0:
+            if len(fields) != 3:
+                raise CodingError("descent step must carry two port numbers")
+            port_parent = decode_uint(fields[1])
+            port_child = decode_uint(fields[2])
+            try:
+                child = LabeledRootedTree(next(label_iter))
+            except StopIteration:
+                raise CodingError("tree code ran out of labels during walk")
+            stack[-1].add_child(port_parent, port_child, child)
+            stack.append(child)
+        elif kind == 1:
+            if len(stack) <= 1:
+                raise CodingError("ascent step at the root")
+            stack.pop()
+        else:
+            raise CodingError(f"unknown walk step kind {kind}")
+    if len(stack) != 1:
+        raise CodingError("tree walk did not return to the root")
+    remaining = sum(1 for _ in label_iter)
+    if remaining:
+        raise CodingError(f"{remaining} unused labels in tree code")
+    return root

@@ -1,0 +1,145 @@
+"""Tries: the query trees at the heart of advice item A1.
+
+A trie is a rooted binary tree.  Internal nodes carry a *query*, coded as a
+pair of non-negative integers ``(a, b)``; leaves carry the label ``(0)``
+(paper convention) and correspond to discriminated objects.  The left child
+is the "no" branch, the right child the "yes" branch.
+
+Query semantics (interpreted by ``LocalLabel``, Algorithm 2):
+
+* depth-1 mode (list ``X`` empty):
+  ``(0, t)`` — "is ``len(bin(B))``  < t?";
+  ``(1, j)`` — "is the j-th bit of ``bin(B)`` equal to 1?";
+* deeper mode (``X`` nonempty):
+  ``(i, y)`` — "is the (i+1)-th term of ``X`` equal to ``y``?"
+  (LocalLabel goes *left* when the term differs from ``y``).
+
+The binary code mirrors the labeled-tree code: a structure walk plus the
+queries in preorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.errors import CodingError
+
+
+@dataclass(frozen=True)
+class Trie:
+    """A trie node.  ``query is None`` iff this is a leaf."""
+
+    query: Optional[Tuple[int, int]]
+    left: Optional["Trie"] = None
+    right: Optional["Trie"] = None
+
+    def __post_init__(self):
+        if self.query is None:
+            if self.left is not None or self.right is not None:
+                raise CodingError("a trie leaf cannot have children")
+        else:
+            if self.left is None or self.right is None:
+                raise CodingError("a trie internal node must have two children")
+            a, b = self.query
+            if a < 0 or b < 0:
+                raise CodingError(f"trie query must be non-negative, got {self.query}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.query is None
+
+    def num_leaves(self) -> int:
+        """Number of leaves (objects discriminated by this trie)."""
+        if self.is_leaf:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def size(self) -> int:
+        """Total number of nodes; always ``2 * num_leaves() - 1``."""
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.size() + self.right.size()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def queries(self) -> List[Tuple[int, int]]:
+        """All internal-node queries, preorder."""
+        if self.is_leaf:
+            return []
+        return [self.query] + self.left.queries() + self.right.queries()
+
+
+def trie_leaf() -> Trie:
+    """A single-leaf trie (the paper's "single node labeled (0)")."""
+    return Trie(None)
+
+
+def trie_node(query: Tuple[int, int], left: Trie, right: Trie) -> Trie:
+    """An internal trie node with a query and two subtries."""
+    return Trie(query, left, right)
+
+
+# ----------------------------------------------------------------------
+# codec: preorder with explicit leaf/internal markers
+# ----------------------------------------------------------------------
+def encode_trie(trie: Trie) -> Bits:
+    """Binary code of a trie: ``Concat`` of preorder node records, each
+    ``Concat(bin(0))`` for a leaf or ``Concat(bin(1), bin(a), bin(b))`` for
+    an internal node with query ``(a, b)``."""
+    records: List[Bits] = []
+
+    def dfs(node: Trie) -> None:
+        if node.is_leaf:
+            records.append(concat_bits([encode_uint(0)]))
+        else:
+            a, b = node.query
+            records.append(
+                concat_bits([encode_uint(1), encode_uint(a), encode_uint(b)])
+            )
+            dfs(node.left)
+            dfs(node.right)
+
+    dfs(trie)
+    return concat_bits(records)
+
+
+def decode_trie(bits: Bits) -> Trie:
+    """Inverse of :func:`encode_trie`."""
+    records = decode_concat(bits)
+    if not records:
+        raise CodingError("empty trie code")
+    pos = 0
+
+    def parse() -> Trie:
+        nonlocal pos
+        if pos >= len(records):
+            raise CodingError("trie code ended prematurely")
+        fields = decode_concat(records[pos])
+        pos += 1
+        kind = decode_uint(fields[0])
+        if kind == 0:
+            if len(fields) != 1:
+                raise CodingError("leaf record must have no payload")
+            return trie_leaf()
+        if kind == 1:
+            if len(fields) != 3:
+                raise CodingError("internal record must carry a (a, b) query")
+            a = decode_uint(fields[1])
+            b = decode_uint(fields[2])
+            left = parse()
+            right = parse()
+            return trie_node((a, b), left, right)
+        raise CodingError(f"unknown trie record kind {kind}")
+
+    result = parse()
+    if pos != len(records):
+        raise CodingError(f"{len(records) - pos} trailing records in trie code")
+    return result

@@ -1,0 +1,70 @@
+"""The paper's primary contribution: leader election with advice.
+
+Oracle side (knows the full graph):
+
+* :func:`compute_advice` — Algorithm 5 (ComputeAdvice): the O(n log n)-bit
+  advice enabling election in minimum time phi;
+* :func:`election_advice` — the tiny advice strings A1..A4 of Theorem 4.1.
+
+Node side (sees only degree + advice + messages):
+
+* :class:`ElectAlgorithm` — Algorithm 6 (Elect), election in time phi;
+* :class:`GenericAlgorithm` — Algorithm 7 (Generic(x)), election in time
+  <= D + x + 1 for any x >= phi;
+* :func:`make_election_algorithm` — Algorithm 8 (Election1..4);
+* :class:`KnownDPhiAlgorithm` — the remark after Theorem 4.1 (time D+phi
+  with O(log D + log phi) bits).
+
+Shared: :func:`verify_election` checks the paper's correctness condition
+(all outputs are simple paths converging on one node) on any run.
+"""
+
+from repro.core.labels import LabelingContext, local_label, retrieve_label
+from repro.core.trie_builder import build_trie
+from repro.core.advice import AdviceBundle, compute_advice, decode_advice
+from repro.core.elect import ElectAlgorithm, run_elect
+from repro.core.generic import GenericAlgorithm, run_generic
+from repro.core.elections import (
+    MILESTONES,
+    election_advice,
+    make_election_algorithm,
+    milestone_round_budget,
+    run_election_milestone,
+)
+from repro.core.known_d_phi import KnownDPhiAlgorithm, run_known_d_phi
+from repro.core.post_election import (
+    FloodBroadcast,
+    ConvergecastSum,
+    run_broadcast,
+    run_convergecast,
+    sequential_factory,
+)
+from repro.core.verify import ElectionOutcome, verify_election
+
+__all__ = [
+    "LabelingContext",
+    "local_label",
+    "retrieve_label",
+    "build_trie",
+    "AdviceBundle",
+    "compute_advice",
+    "decode_advice",
+    "ElectAlgorithm",
+    "run_elect",
+    "GenericAlgorithm",
+    "run_generic",
+    "MILESTONES",
+    "election_advice",
+    "make_election_algorithm",
+    "milestone_round_budget",
+    "run_election_milestone",
+    "KnownDPhiAlgorithm",
+    "run_known_d_phi",
+    "FloodBroadcast",
+    "ConvergecastSum",
+    "run_broadcast",
+    "run_convergecast",
+    "sequential_factory",
+    "ElectionOutcome",
+    "verify_election",
+]

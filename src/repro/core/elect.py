@@ -1,0 +1,115 @@
+"""Algorithm 6 (Elect): leader election in minimum time phi.
+
+Node side of Theorem 3.1.  Each node decodes (phi, E1, E2, A2) from the
+advice, runs COM for phi rounds to acquire B^phi(u), computes its unique
+label x = RetrieveLabel(B^phi(u), E1, E2), locates itself in the decoded
+BFS tree through x, and outputs the port sequence of the tree path from x
+to the root (label 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.core.advice import (
+    AdviceBundle,
+    compute_advice,
+    decode_advice,
+    labeling_context_from_advice,
+)
+from repro.core.labels import retrieve_label
+from repro.core.verify import ElectionOutcome, verify_election
+from repro.errors import AdviceError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.com import ViewAccumulator
+from repro.sim.local_model import NodeAlgorithm, NodeContext, RunResult, run_sync
+
+
+class ElectAlgorithm:
+    """Per-node algorithm; requires ``ctx.advice`` from ComputeAdvice."""
+
+    def __init__(self):
+        self._acc: Optional[ViewAccumulator] = None
+        self._phi: Optional[int] = None
+        self._labeling = None
+        self._tree = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        if ctx.advice is None:
+            raise AdviceError("Elect requires the oracle's advice string")
+        phi, e1, e2, tree = decode_advice(ctx.advice)
+        self._phi = phi
+        self._labeling = labeling_context_from_advice(e1, e2)
+        self._tree = tree
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx: NodeContext):
+        # COM(i): keep exchanging views every round (harmlessly also after
+        # the output is committed; see the engine's round semantics).
+        return self._acc.outgoing()
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        self._acc.absorb(inbox)
+        if self._acc.depth == self._phi and not ctx.has_output:
+            label = retrieve_label(self._acc.view, self._labeling)
+            pairs = self._tree.path_to_root_ports(label)
+            flat: Tuple[int, ...] = tuple(x for pair in pairs for x in pair)
+            ctx.output(flat)
+
+
+@dataclass
+class ElectRunRecord:
+    """End-to-end record of one Elect run (oracle + simulation + verify)."""
+
+    n: int
+    phi: int
+    advice_bits: int
+    election_time: int
+    leader: int
+    total_messages: int
+
+    @classmethod
+    def from_run(
+        cls, g: PortGraph, bundle: AdviceBundle, result: RunResult, outcome: ElectionOutcome
+    ) -> "ElectRunRecord":
+        return cls(
+            n=g.n,
+            phi=bundle.phi,
+            advice_bits=bundle.size_bits,
+            election_time=result.election_time,
+            leader=outcome.leader,
+            total_messages=result.total_messages,
+        )
+
+
+def run_elect(
+    g: PortGraph, bundle: Optional[AdviceBundle] = None, paranoid: bool = False
+) -> ElectRunRecord:
+    """Full Theorem 3.1 pipeline: ComputeAdvice -> simulate Elect -> verify.
+
+    Asserts the two properties of the theorem that are checkable per run:
+    the leader is the oracle's label-1 node and the election time is
+    exactly phi.
+    """
+    if bundle is None:
+        bundle = compute_advice(g)
+    result = run_sync(
+        g,
+        ElectAlgorithm,
+        advice=bundle.bits,
+        max_rounds=bundle.phi + 2,
+        paranoid=paranoid,
+    )
+    outcome = verify_election(g, result.outputs)
+    if outcome.leader != bundle.root:
+        raise AdviceError(
+            f"elected node {outcome.leader} differs from the oracle's root "
+            f"{bundle.root}"
+        )
+    if result.election_time != bundle.phi:
+        raise AdviceError(
+            f"election time {result.election_time} != phi = {bundle.phi}"
+        )
+    return ElectRunRecord.from_run(g, bundle, result, outcome)

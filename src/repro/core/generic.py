@@ -1,0 +1,148 @@
+"""Algorithm 7 (Generic(x)): leader election in time <= D + x + 1.
+
+A node running Generic(x) exchanges views (COM) forever; from round x on,
+after COM(r) it holds B^{r+1}(u) and inspects the depth-x views of the
+nodes it can "see": X collects the depth-x views of view-tree nodes at
+depth <= r - x, Y those at depth exactly r - x + 1.  When Y ⊆ X — no new
+depth-x view appeared on the frontier — the node provably has seen *all*
+depth-x views of the graph (Lemma 4.1), so it outputs the port sequence of
+a shortest path towards the node whose depth-x view is canonically
+smallest (unique because x >= phi), breaking ties lexicographically.
+
+The view-tree is never expanded: interned views are a DAG, and the level
+sets L_j (distinct views at tree-depth j) have at most n elements each, so
+a round costs O((r - x) * n * max_degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.verify import ElectionOutcome, verify_election
+from repro.errors import AlgorithmError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.com import ViewAccumulator
+from repro.sim.local_model import NodeContext, RunResult, run_sync
+from repro.views.order import view_compare, view_min
+from repro.views.view import View, truncate_view
+
+
+def _level_sets(root: View, max_level: int) -> List[Set[View]]:
+    """Distinct views at tree-depths 0..max_level of the view DAG."""
+    levels: List[Set[View]] = [{root}]
+    for _ in range(max_level):
+        nxt: Set[View] = set()
+        for w in levels[-1]:
+            for _, child in w.children:
+                nxt.add(child)
+        levels.append(nxt)
+    return levels
+
+
+def _lex_smallest_path_to(
+    root: View, target: View, x: int, max_level: int
+) -> Tuple[int, ...]:
+    """Port sequence (p1, q1, ..., pk, qk) of the lexicographically smallest
+    among the shortest paths, in the view tree of ``root``, to a node whose
+    depth-``x`` truncation is ``target``."""
+    frontier: Dict[View, Tuple[int, ...]] = {root: ()}
+    for level in range(max_level + 1):
+        hits = [
+            path
+            for w, path in frontier.items()
+            if w.depth >= x and truncate_view(w, x) is target
+        ]
+        if hits:
+            return min(hits)
+        nxt: Dict[View, Tuple[int, ...]] = {}
+        for w, path in frontier.items():
+            for p, (q, child) in enumerate(w.children):
+                candidate = path + (p, q)
+                best = nxt.get(child)
+                if best is None or candidate < best:
+                    nxt[child] = candidate
+        frontier = nxt
+    raise AlgorithmError(
+        "target view not reachable in the known view tree (Generic invariant "
+        "violated)"
+    )
+
+
+class GenericAlgorithm:
+    """Per-node Generic(x).  ``x`` must satisfy x >= phi(G) for correctness;
+    the value reaches the node either directly (constructor) or via the
+    Election_i advice decoding (see :mod:`repro.core.elections`)."""
+
+    def __init__(self, x: int):
+        if x < 1:
+            raise AlgorithmError(f"Generic requires x >= 1, got {x}")
+        self._x = x
+        self._acc: Optional[ViewAccumulator] = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx: NodeContext):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        self._acc.absorb(inbox)
+        if ctx.has_output:
+            return
+        x = self._x
+        r = self._acc.depth - 1  # we just completed COM(r)
+        if r < x:
+            return
+        root = self._acc.view  # B^{r+1}(u)
+        levels = _level_sets(root, r - x + 1)
+        seen: Set[View] = set()
+        for j in range(0, r - x + 1):
+            for w in levels[j]:
+                seen.add(truncate_view(w, x))
+        frontier_views = {truncate_view(w, x) for w in levels[r - x + 1]}
+        if not frontier_views <= seen:
+            return
+        target = view_min(seen)
+        path = _lex_smallest_path_to(root, target, x, r - x + 1)
+        ctx.output(path)
+
+
+@dataclass
+class GenericRunRecord:
+    """Record of one Generic(x) run."""
+
+    n: int
+    x: int
+    diameter: int
+    election_time: int
+    leader: int
+    total_messages: int
+
+
+def run_generic(
+    g: PortGraph, x: int, check_time_bound: bool = True
+) -> GenericRunRecord:
+    """Simulate Generic(x) on ``g``, verify the election, and (by default)
+    assert Lemma 4.1's time bound D + x + 1."""
+    diameter = g.diameter()
+    result = run_sync(
+        g,
+        lambda: GenericAlgorithm(x),
+        advice=None,
+        max_rounds=diameter + x + 2,
+    )
+    outcome = verify_election(g, result.outputs)
+    if check_time_bound and result.election_time > diameter + x + 1:
+        raise AlgorithmError(
+            f"Generic({x}) took {result.election_time} rounds, exceeding "
+            f"D + x + 1 = {diameter + x + 1}"
+        )
+    return GenericRunRecord(
+        n=g.n,
+        x=x,
+        diameter=diameter,
+        election_time=result.election_time,
+        leader=outcome.leader,
+        total_messages=result.total_messages,
+    )

@@ -1,0 +1,107 @@
+"""The remark after Theorem 4.1: election in time exactly D + phi with
+O(log D + log phi) bits of advice.
+
+The oracle supplies the pair (D, phi).  After D + phi rounds each node u
+holds B^{D+phi}(u); since every graph node appears within depth D of u's
+view, u can read off the depth-phi views of *all* nodes (as truncations of
+view-tree nodes at depth <= D), pick the canonically smallest one — unique
+because the depth is phi — and output a shortest path to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.core.generic import _lex_smallest_path_to, _level_sets
+from repro.core.verify import verify_election
+from repro.errors import AdviceError, AlgorithmError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.com import ViewAccumulator
+from repro.sim.local_model import NodeContext, run_sync
+from repro.views.election_index import election_index
+from repro.views.order import view_min
+from repro.views.view import truncate_view
+
+
+def known_d_phi_advice(diameter: int, phi: int) -> Bits:
+    """Advice Concat(bin(D), bin(phi)) of size O(log D + log phi)."""
+    if diameter < 1 or phi < 1:
+        raise AdviceError("D and phi must be >= 1")
+    return concat_bits([encode_uint(diameter), encode_uint(phi)])
+
+
+class KnownDPhiAlgorithm:
+    """Per-node algorithm for the D + phi remark."""
+
+    def __init__(self):
+        self._acc: Optional[ViewAccumulator] = None
+        self._d: Optional[int] = None
+        self._phi: Optional[int] = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        if ctx.advice is None:
+            raise AdviceError("KnownDPhi requires the (D, phi) advice")
+        parts = decode_concat(ctx.advice)
+        if len(parts) != 2:
+            raise AdviceError("KnownDPhi advice must be Concat(bin(D), bin(phi))")
+        self._d = decode_uint(parts[0])
+        self._phi = decode_uint(parts[1])
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx: NodeContext):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        self._acc.absorb(inbox)
+        if ctx.has_output or self._acc.depth < self._d + self._phi:
+            return
+        root = self._acc.view
+        levels = _level_sets(root, self._d)
+        all_phi_views = {
+            truncate_view(w, self._phi)
+            for level in levels
+            for w in level
+        }
+        target = view_min(all_phi_views)
+        path = _lex_smallest_path_to(root, target, self._phi, self._d)
+        ctx.output(path)
+
+
+@dataclass
+class KnownDPhiRecord:
+    n: int
+    phi: int
+    diameter: int
+    advice_bits: int
+    election_time: int
+    leader: int
+
+
+def run_known_d_phi(g: PortGraph, phi: Optional[int] = None) -> KnownDPhiRecord:
+    """Pipeline for the remark: advice (D, phi) -> simulate -> verify ->
+    assert time exactly D + phi."""
+    if phi is None:
+        phi = election_index(g)
+    diameter = g.diameter()
+    advice = known_d_phi_advice(diameter, phi)
+    result = run_sync(
+        g, KnownDPhiAlgorithm, advice=advice, max_rounds=diameter + phi + 1
+    )
+    outcome = verify_election(g, result.outputs)
+    if result.election_time != diameter + phi:
+        raise AlgorithmError(
+            f"KnownDPhi took {result.election_time} rounds, expected exactly "
+            f"D + phi = {diameter + phi}"
+        )
+    return KnownDPhiRecord(
+        n=g.n,
+        phi=phi,
+        diameter=diameter,
+        advice_bits=len(advice),
+        election_time=result.election_time,
+        leader=outcome.leader,
+    )

@@ -1,0 +1,195 @@
+"""Post-election protocols: using the elected leader.
+
+The paper's motivation (token rings, coordination) is about what happens
+*after* election.  The election outputs themselves — each node's port
+path to the leader — are exactly the local routing state those protocols
+need: following the first hop of its own path strictly decreases a node's
+distance to the leader (paths are simple/shortest in every algorithm
+here), so the first hops form a parent forest oriented at the leader.
+
+Two classic protocols, composed directly on top of any verified election:
+
+* :class:`FloodBroadcast` — the leader floods a payload; time =
+  eccentricity of the leader;
+* :class:`ConvergecastSum` — children announce themselves to their
+  parents, then subtree sums flow leaderward; the leader learns the
+  global sum in (tree depth + 1) rounds.
+
+Both take *per-node local inputs* (the node's own election output, its
+own payload/value) — legitimately local state from the previous phase,
+not advice.  Use :func:`sequential_factory` to hand the engine one
+pre-built instance per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import AlgorithmError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.local_model import NodeAlgorithm, NodeContext, run_sync
+
+
+def sequential_factory(instances: Iterable[NodeAlgorithm]) -> Callable[[], NodeAlgorithm]:
+    """Adapt a per-node instance list to the engine's factory protocol
+    (the engine instantiates nodes in node order)."""
+    iterator = iter(list(instances))
+
+    def make() -> NodeAlgorithm:
+        return next(iterator)
+
+    return make
+
+
+def _parent_port(election_output: Sequence[int]) -> Optional[int]:
+    """The first-hop port toward the leader; None for the leader itself."""
+    if len(election_output) == 0:
+        return None
+    return election_output[0]
+
+
+# ----------------------------------------------------------------------
+class FloodBroadcast:
+    """Leader floods ``payload``; everyone outputs it on first receipt."""
+
+    def __init__(self, election_output: Sequence[int], payload: Any = None):
+        self._is_leader = len(election_output) == 0
+        self._payload = payload if self._is_leader else None
+        self._got: Any = None
+
+    def setup(self, ctx: NodeContext) -> None:
+        if self._is_leader:
+            self._got = self._payload
+            ctx.output(self._payload)
+
+    def compose(self, ctx: NodeContext) -> Optional[Dict[int, Any]]:
+        if self._got is None:
+            return None
+        return {p: ("bcast", self._got) for p in range(ctx.degree)}
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        if self._got is not None:
+            return
+        for msg in inbox:
+            if msg is not None and msg[0] == "bcast":
+                self._got = msg[1]
+                ctx.output(self._got)
+                return
+
+
+@dataclass
+class BroadcastResult:
+    payload: Any
+    rounds: int
+
+
+def run_broadcast(
+    g: PortGraph, election_outputs: Dict[int, Sequence[int]], payload: Any
+) -> BroadcastResult:
+    """Flood ``payload`` from the elected leader; verify total delivery."""
+    instances = [
+        FloodBroadcast(election_outputs[v], payload) for v in g.nodes()
+    ]
+    result = run_sync(g, sequential_factory(instances), max_rounds=g.n + 1)
+    values = set(result.outputs.values())
+    if values != {payload}:
+        raise AlgorithmError(f"broadcast delivered {values}, expected {{payload}}")
+    return BroadcastResult(payload=payload, rounds=result.election_time)
+
+
+# ----------------------------------------------------------------------
+class ConvergecastSum:
+    """Sum all nodes' values at the leader over the election forest.
+
+    Round 1: every non-leader announces itself on its parent port.
+    After round 1 each node knows its children ports; once values from
+    all children have arrived, it sends (its value + subtree values) to
+    its parent and outputs its subtree sum.  The leader outputs the
+    global sum.
+    """
+
+    def __init__(self, election_output: Sequence[int], value: float):
+        self._parent_port = _parent_port(election_output)
+        self._value = value
+        self._children: Optional[List[int]] = None  # ports
+        self._child_values: Dict[int, float] = {}
+        self._sent = False
+
+    def setup(self, ctx: NodeContext) -> None:
+        pass
+
+    def compose(self, ctx: NodeContext) -> Optional[Dict[int, Any]]:
+        if self._children is None:
+            # round 1: announce to the parent (leader announces nothing)
+            if self._parent_port is None:
+                return None
+            return {self._parent_port: ("child",)}
+        if (
+            not self._sent
+            and self._parent_port is not None
+            and len(self._child_values) == len(self._children)
+        ):
+            self._sent = True
+            total = self._value + sum(self._child_values.values())
+            return {self._parent_port: ("sum", total)}
+        return None
+
+    def deliver(self, ctx: NodeContext, inbox) -> None:
+        if self._children is None:
+            self._children = [
+                p for p, msg in enumerate(inbox)
+                if msg is not None and msg[0] == "child"
+            ]
+        else:
+            for p, msg in enumerate(inbox):
+                if msg is not None and msg[0] == "sum":
+                    if p not in self._children:
+                        raise AlgorithmError("sum from a non-child port")
+                    self._child_values[p] = msg[1]
+        if (
+            not ctx.has_output
+            and self._children is not None
+            and len(self._child_values) == len(self._children)
+        ):
+            subtree = self._value + sum(self._child_values.values())
+            if self._parent_port is None:
+                ctx.output(subtree)  # the leader: global sum
+            elif self._sent:
+                ctx.output(subtree)
+
+    # note: a non-leaf non-leader outputs right after sending; a leaf sends
+    # and outputs in the round after the announcements
+
+
+@dataclass
+class ConvergecastResult:
+    leader_total: float
+    rounds: int
+    subtree_sums: Dict[int, float]
+
+
+def run_convergecast(
+    g: PortGraph,
+    election_outputs: Dict[int, Sequence[int]],
+    values: Dict[int, float],
+) -> ConvergecastResult:
+    """Aggregate ``values`` at the elected leader; verify the total."""
+    instances = [
+        ConvergecastSum(election_outputs[v], values[v]) for v in g.nodes()
+    ]
+    result = run_sync(g, sequential_factory(instances), max_rounds=2 * g.n + 2)
+    leader = next(
+        v for v in g.nodes() if len(election_outputs[v]) == 0
+    )
+    total = result.outputs[leader]
+    expected = sum(values.values())
+    if abs(total - expected) > 1e-9:
+        raise AlgorithmError(
+            f"convergecast total {total} != sum of values {expected}"
+        )
+    return ConvergecastResult(
+        leader_total=total,
+        rounds=result.election_time,
+        subtree_sums=dict(result.outputs),
+    )

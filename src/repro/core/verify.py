@@ -1,0 +1,78 @@
+"""Election-output verification.
+
+The task specification (Section 1): every node v outputs a sequence
+``P(v) = (p1, q1, ..., pk, qk)`` of port numbers; ``P*(v)`` is the path
+from v whose i-th edge leaves through port ``p_i`` and arrives through
+``q_i``.  Election is correct iff every ``P*(v)`` is a *simple* path in
+the graph and all paths end at a common node — the leader.
+
+This verifier is the ground truth for every test and benchmark: it never
+trusts algorithm internals, only the outputs and the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ElectionFailure, GraphStructureError
+from repro.graphs.port_graph import PortGraph
+
+
+@dataclass
+class ElectionOutcome:
+    """A verified election: the leader and each node's path to it."""
+
+    leader: int
+    paths: Dict[int, List[int]]  # node -> list of visited nodes (incl. both ends)
+
+    def path_length(self, v: int) -> int:
+        return len(self.paths[v]) - 1
+
+
+def _as_port_pairs(output: Sequence[int]) -> List[Tuple[int, int]]:
+    if len(output) % 2 != 0:
+        raise ElectionFailure(
+            f"output {tuple(output)} has odd length; must be (p1,q1,...,pk,qk)"
+        )
+    if any((not isinstance(x, int)) or x < 0 for x in output):
+        raise ElectionFailure(
+            f"output {tuple(output)} must consist of non-negative integers"
+        )
+    return [(output[i], output[i + 1]) for i in range(0, len(output), 2)]
+
+
+def verify_election(g: PortGraph, outputs: Dict[int, Sequence[int]]) -> ElectionOutcome:
+    """Verify outputs of all nodes; return the leader or raise
+    :class:`ElectionFailure` with a precise diagnosis."""
+    missing = [v for v in g.nodes() if v not in outputs]
+    if missing:
+        raise ElectionFailure(f"nodes {missing[:5]} produced no output")
+
+    leader = None
+    paths: Dict[int, List[int]] = {}
+    for v in g.nodes():
+        pairs = _as_port_pairs(outputs[v])
+        try:
+            visited = g.follow_port_path(v, pairs)
+        except (GraphStructureError, Exception) as exc:
+            if not isinstance(exc, GraphStructureError):
+                raise
+            raise ElectionFailure(
+                f"output of node {v} is not a path in the graph: {exc}"
+            ) from exc
+        if len(set(visited)) != len(visited):
+            raise ElectionFailure(
+                f"output of node {v} is not a simple path: visits {visited}"
+            )
+        end = visited[-1]
+        if leader is None:
+            leader = end
+        elif end != leader:
+            raise ElectionFailure(
+                f"paths disagree: node {v} reaches {end} but an earlier node "
+                f"reached {leader}"
+            )
+        paths[v] = visited
+    assert leader is not None
+    return ElectionOutcome(leader=leader, paths=paths)

@@ -1,0 +1,78 @@
+"""Port-numbered anonymous graph substrate.
+
+The paper's model: a simple undirected connected n-node graph, nodes have no
+identifiers, but at each node ``v`` the incident edges carry distinct *port
+numbers* ``0..deg(v)-1``, locally and independently at each endpoint.
+
+:class:`PortGraph` is the frozen runtime representation; it is built through
+:class:`PortGraphBuilder`, which validates the port-numbering axioms.  The
+generators produce the standard topologies used by the experiments, and
+:func:`are_port_isomorphic` decides port-preserving isomorphism (the right
+notion of "same network" for anonymous algorithms).
+"""
+
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.graphs.generators import (
+    broom,
+    caterpillar,
+    circulant,
+    clique,
+    complete_binary_tree,
+    complete_bipartite,
+    cycle_with_leader_gadget,
+    grid_torus,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    random_regular,
+    ring,
+    star,
+    wheel,
+)
+from repro.graphs.isomorphism import are_port_isomorphic, port_automorphism_exists
+from repro.graphs.port_optimizer import (
+    optimize_ports,
+    port_sensitivity,
+    randomize_ports,
+)
+from repro.graphs.serialization import (
+    from_dict,
+    from_json,
+    from_networkx,
+    to_dict,
+    to_json,
+    to_networkx,
+)
+
+__all__ = [
+    "PortGraph",
+    "PortGraphBuilder",
+    "broom",
+    "caterpillar",
+    "circulant",
+    "complete_binary_tree",
+    "wheel",
+    "clique",
+    "complete_bipartite",
+    "cycle_with_leader_gadget",
+    "grid_torus",
+    "hypercube",
+    "lollipop",
+    "path_graph",
+    "random_connected_graph",
+    "random_regular",
+    "ring",
+    "star",
+    "are_port_isomorphic",
+    "port_automorphism_exists",
+    "optimize_ports",
+    "port_sensitivity",
+    "randomize_ports",
+    "from_dict",
+    "from_json",
+    "from_networkx",
+    "to_dict",
+    "to_json",
+    "to_networkx",
+]

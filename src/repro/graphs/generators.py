@@ -1,0 +1,343 @@
+"""Standard topology generators.
+
+Every generator returns a frozen :class:`~repro.graphs.PortGraph` with a
+*deterministic* port assignment (documented per generator) so that test
+results and benchmarks are reproducible.  Where the paper says "assign the
+remaining port numbers arbitrarily", we use the smallest-free-port rule
+unless a seed is given.
+
+A note on symmetry: several of these topologies (rings, hypercubes, tori
+with the canonical port numbering) are *infeasible* for leader election —
+all nodes have identical views.  That is intentional: the test suite uses
+them to exercise the feasibility detector.  Generators whose purpose is to
+produce feasible inputs (e.g. :func:`cycle_with_leader_gadget`,
+:func:`random_connected_graph`) document the feasibility they provide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.util.rng import RngLike, make_rng
+
+
+def ring(n: int) -> PortGraph:
+    """Cycle of ``n >= 3`` nodes, ports 0 (clockwise) and 1 (counter-clockwise)
+    at every node.  Fully symmetric: infeasible for leader election."""
+    if n < 3:
+        raise GraphStructureError(f"ring requires n >= 3, got {n}")
+    b = PortGraphBuilder(n)
+    for i in range(n):
+        b.add_edge(i, 0, (i + 1) % n, 1)
+    return b.build()
+
+
+def path_graph(n: int) -> PortGraph:
+    """Path on ``n >= 2`` nodes.  At internal nodes, port 0 points away
+    from node 0 ("forward"); endpoints have the single port 0.
+
+    This directional numbering breaks the mirror symmetry, so every path
+    with n >= 3 is feasible; n = 2 is the paper's canonical infeasible
+    instance (the two nodes are indistinguishable).
+    """
+    if n < 2:
+        raise GraphStructureError(f"path requires n >= 2, got {n}")
+    b = PortGraphBuilder(n)
+    for i in range(n - 1):
+        pu = 0 if i == 0 else 1
+        b.add_edge(i, pu, i + 1, 0)
+    return b.build()
+
+
+def clique(n: int, seed: RngLike = None) -> PortGraph:
+    """Complete graph on ``n >= 2`` nodes.
+
+    Default (``seed=None``): the canonical circulant port assignment — the
+    edge ``{i, j}`` gets port ``(j - i - 1) mod n  ... `` reduced to the
+    range ``0..n-2`` at ``i``.  This assignment is vertex-transitive, hence
+    the default clique is *infeasible*.  With a seed, ports are a random
+    legal assignment (usually feasible for n >= 4).
+    """
+    if n < 2:
+        raise GraphStructureError(f"clique requires n >= 2, got {n}")
+    b = PortGraphBuilder(n)
+    if seed is None:
+        for i in range(n):
+            for j in range(i + 1, n):
+                pi = (j - i - 1) % n
+                pj = (i - j - 1) % n
+                # circulant offsets are in 1..n-1; shift to ports 0..n-2
+                b.add_edge(i, pi, j, pj)
+    else:
+        rng = make_rng(seed)
+        perms = [rng.sample(range(n - 1), n - 1) for _ in range(n)]
+        counters = [0] * n
+        for i in range(n):
+            for j in range(i + 1, n):
+                pi = perms[i][counters[i]]
+                pj = perms[j][counters[j]]
+                counters[i] += 1
+                counters[j] += 1
+                b.add_edge(i, pi, j, pj)
+    return b.build()
+
+
+def star(k: int) -> PortGraph:
+    """The k-star S_k of the paper's Proposition 4.1: ``k + 1`` nodes, the
+    central node 0 adjacent to ``k`` leaves through ports ``0..k-1``.
+    Requires ``k >= 1``."""
+    if k < 1:
+        raise GraphStructureError(f"star requires k >= 1 leaves, got {k}")
+    b = PortGraphBuilder(k + 1)
+    for leaf in range(1, k + 1):
+        b.add_edge(0, leaf - 1, leaf, 0)
+    return b.build()
+
+
+def complete_bipartite(a: int, b_: int) -> PortGraph:
+    """K_{a,b} with row-major canonical ports. Left nodes are 0..a-1."""
+    if a < 1 or b_ < 1:
+        raise GraphStructureError("complete_bipartite requires a, b >= 1")
+    b = PortGraphBuilder(a + b_)
+    for i in range(a):
+        for j in range(b_):
+            b.add_edge(i, j, a + j, i)
+    return b.build()
+
+
+def hypercube(dim: int) -> PortGraph:
+    """d-dimensional hypercube; port i at each node flips bit i.
+    Vertex-transitive with this numbering, hence infeasible."""
+    if dim < 1:
+        raise GraphStructureError(f"hypercube requires dim >= 1, got {dim}")
+    n = 1 << dim
+    b = PortGraphBuilder(n)
+    for u in range(n):
+        for i in range(dim):
+            v = u ^ (1 << i)
+            if u < v:
+                b.add_edge(u, i, v, i)
+    return b.build()
+
+
+def grid_torus(rows: int, cols: int) -> PortGraph:
+    """rows x cols torus; ports 0=east, 1=west, 2=south, 3=north.
+    Vertex-transitive with this numbering, hence infeasible.
+    Requires rows, cols >= 3 (so the graph is simple)."""
+    if rows < 3 or cols < 3:
+        raise GraphStructureError("grid_torus requires rows, cols >= 3")
+    b = PortGraphBuilder(rows * cols)
+
+    def node(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    for r in range(rows):
+        for c in range(cols):
+            b.add_edge(node(r, c), 0, node(r, c + 1), 1)
+            b.add_edge(node(r, c), 2, node(r + 1, c), 3)
+    return b.build()
+
+
+def lollipop(clique_size: int, tail_len: int) -> PortGraph:
+    """A clique with a path ("tail") attached — a classical feasible,
+    asymmetric topology.  Node 0 is the clique node carrying the tail.
+    Requires ``clique_size >= 3`` and ``tail_len >= 1``."""
+    if clique_size < 3 or tail_len < 1:
+        raise GraphStructureError(
+            "lollipop requires clique_size >= 3 and tail_len >= 1"
+        )
+    b = PortGraphBuilder(clique_size + tail_len)
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            b.add_edge_auto(i, j)
+    prev = 0
+    for t in range(tail_len):
+        cur = clique_size + t
+        b.add_edge_auto(prev, cur)
+        prev = cur
+    return b.build()
+
+
+def cycle_with_leader_gadget(n: int, pendant_at: int = 0) -> PortGraph:
+    """A ring of ``n >= 3`` nodes with one pendant node attached — the
+    smallest natural feasible family (the pendant's neighbor is the unique
+    degree-3 node).  Election index is small; exact value depends on n and
+    is computed, not assumed, by the tests."""
+    if n < 3:
+        raise GraphStructureError(f"needs ring size n >= 3, got {n}")
+    if not (0 <= pendant_at < n):
+        raise GraphStructureError("pendant_at must index a ring node")
+    b = PortGraphBuilder(n + 1)
+    for i in range(n):
+        b.add_edge(i, 0, (i + 1) % n, 1)
+    b.add_edge(pendant_at, 2, n, 0)
+    return b.build()
+
+
+def random_regular(n: int, d: int, seed: RngLike = 0, max_tries: int = 200) -> PortGraph:
+    """Random d-regular simple connected graph via the pairing model, with
+    ports assigned by the smallest-free-port rule in pairing order.
+
+    Retries until a simple connected pairing is found (up to ``max_tries``).
+    """
+    if n * d % 2 != 0:
+        raise GraphStructureError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise GraphStructureError("degree must be < n")
+    if d < 1:
+        raise GraphStructureError("degree must be >= 1")
+    rng = make_rng(seed)
+    for _ in range(max_tries):
+        stubs = [u for u in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        b = PortGraphBuilder(n)
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or b.has_edge(u, v):
+                ok = False
+                break
+            b.add_edge_auto(u, v)
+        if not ok:
+            continue
+        try:
+            return b.build()
+        except GraphStructureError:
+            continue  # disconnected pairing; retry
+    raise GraphStructureError(
+        f"failed to sample a connected simple {d}-regular graph on {n} nodes "
+        f"in {max_tries} tries"
+    )
+
+
+def random_connected_graph(
+    n: int, extra_edges: int = 0, seed: RngLike = 0
+) -> PortGraph:
+    """Random connected graph: a random spanning tree (random attachment)
+    plus ``extra_edges`` random chords; ports by smallest-free-port in
+    creation order.  With high probability feasible for n >= 4 thanks to
+    the irregular degree profile (the tests *verify* feasibility rather than
+    assuming it)."""
+    if n < 2:
+        raise GraphStructureError(f"random_connected_graph requires n >= 2")
+    rng = make_rng(seed)
+    b = PortGraphBuilder(n)
+    for v in range(1, n):
+        u = rng.randrange(v)
+        b.add_edge_auto(u, v)
+    added = 0
+    tries = 0
+    max_possible = n * (n - 1) // 2 - (n - 1)
+    extra_edges = min(extra_edges, max_possible)
+    while added < extra_edges and tries < 50 * (extra_edges + 1):
+        tries += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or b.has_edge(u, v):
+            continue
+        b.add_edge_auto(u, v)
+        added += 1
+    return b.build()
+
+
+def wheel(spokes: int) -> PortGraph:
+    """Wheel W_n: a hub joined to every node of an n-cycle.
+
+    The hub is node 0 (port i to rim node i; rim ports 0/1 around the
+    cycle, 2 to the hub).  Always feasible: any port-preserving
+    automorphism must fix the hub, and the hub's distinct ports then pin
+    every rim node — so phi(W_n) is small regardless of n.
+    Requires ``spokes >= 4`` (W_3 would duplicate triangle edges).
+    """
+    if spokes < 4:
+        raise GraphStructureError(f"wheel requires >= 4 spokes, got {spokes}")
+    b = PortGraphBuilder(spokes + 1)
+    for i in range(spokes):
+        rim = 1 + i
+        nxt = 1 + (i + 1) % spokes
+        b.add_edge(rim, 0, nxt, 1)
+    for i in range(spokes):
+        b.add_edge(0, i, 1 + i, 2)
+    return b.build()
+
+
+def caterpillar(spine: int, legs: Sequence[int]) -> PortGraph:
+    """A caterpillar tree: a spine path with ``legs[i]`` pendant leaves at
+    spine node i.  Spine nodes are 0..spine-1 (port 0 forward along the
+    spine, 1 backward); leaves follow.  Feasible whenever the leg profile
+    is not mirror-symmetric (the tests compute, never assume)."""
+    if spine < 2:
+        raise GraphStructureError(f"caterpillar requires spine >= 2, got {spine}")
+    if len(legs) != spine:
+        raise GraphStructureError(
+            f"need one leg count per spine node ({spine}), got {len(legs)}"
+        )
+    b = PortGraphBuilder(spine)
+    for i in range(spine - 1):
+        pu = 0 if i == 0 else 1  # matches path_graph's directional scheme
+        b.add_edge(i, pu, i + 1, 0)
+    for i, k in enumerate(legs):
+        if k < 0:
+            raise GraphStructureError("leg counts must be >= 0")
+        for _ in range(k):
+            leaf = b.add_node()
+            b.add_edge(i, b.next_free_port(i), leaf, 0)
+    return b.build()
+
+
+def broom(handle: int, bristles: int) -> PortGraph:
+    """A broom: a path of ``handle`` nodes with ``bristles`` pendant leaves
+    at its far end — the classic high-eccentricity feasible tree."""
+    if handle < 2 or bristles < 1:
+        raise GraphStructureError("broom requires handle >= 2, bristles >= 1")
+    legs = [0] * handle
+    legs[-1] = bristles
+    return caterpillar(handle, legs)
+
+
+def complete_binary_tree(height: int) -> PortGraph:
+    """Complete binary tree of the given height (2^(h+1) - 1 nodes).
+
+    Ports at an internal node: 0 to the left child, 1 to the right child,
+    2 to the parent (0/1 only at the root); each child's port to the
+    parent is its last port.  Left/right are distinguished by ports, so
+    the tree is feasible for height >= 1.
+    """
+    if height < 1:
+        raise GraphStructureError(f"height must be >= 1, got {height}")
+    n = (1 << (height + 1)) - 1
+    b = PortGraphBuilder(n)
+    for v in range(n):
+        left, right = 2 * v + 1, 2 * v + 2
+        if left < n:
+            child_parent_port = 2 if 2 * left + 1 < n else 0
+            b.add_edge(v, 0, left, child_parent_port)
+        if right < n:
+            child_parent_port = 2 if 2 * right + 1 < n else 0
+            b.add_edge(v, 1, right, child_parent_port)
+    return b.build()
+
+
+def circulant(n: int, offsets: Sequence[int]) -> PortGraph:
+    """Circulant graph C_n(offsets) with the canonical rotation-invariant
+    port numbering: at every node, port 2j goes +offsets[j], port 2j+1
+    goes -offsets[j].  Vertex-transitive, hence infeasible — the standard
+    family for exercising the quotient machinery.  Offsets must be
+    distinct, in 1..n/2, and must not include n/2 (which would fold)."""
+    if n < 3:
+        raise GraphStructureError(f"circulant requires n >= 3, got {n}")
+    offs = list(offsets)
+    if len(set(offs)) != len(offs) or not offs:
+        raise GraphStructureError("offsets must be non-empty and distinct")
+    for o in offs:
+        if not (1 <= o < n / 2):
+            raise GraphStructureError(
+                f"offset {o} out of range (need 1 <= o < n/2 = {n / 2})"
+            )
+    b = PortGraphBuilder(n)
+    for j, o in enumerate(offs):
+        for v in range(n):
+            b.add_edge(v, 2 * j, (v + o) % n, 2 * j + 1)
+    return b.build()

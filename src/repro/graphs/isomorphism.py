@@ -1,0 +1,74 @@
+"""Port-preserving isomorphism.
+
+Two port-numbered graphs are "the same network" for an anonymous algorithm
+iff there is a bijection of nodes that preserves edges *and both port
+numbers of every edge*.  This is the notion the paper uses when it speaks
+of "isomorphic copies" of cliques/locks (e.g. the construction of H_k
+attaches *isomorphic* copies, meaning all port numbers are preserved).
+
+We reduce to directed-graph isomorphism with edge labels and delegate the
+search to networkx's VF2, which is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.graphs.port_graph import PortGraph
+
+
+def _as_labeled_digraph(g: PortGraph) -> "nx.DiGraph":
+    dg = nx.DiGraph()
+    for u in g.nodes():
+        dg.add_node(u, degree=g.degree(u))
+    for u in g.nodes():
+        for p, (v, q) in enumerate(g.ports(u)):
+            dg.add_edge(u, v, port=p)
+    return dg
+
+
+def port_isomorphism(g1: PortGraph, g2: PortGraph) -> Optional[Dict[int, int]]:
+    """Return a port-preserving isomorphism ``g1 -> g2`` as a dict, or
+    ``None`` if none exists."""
+    if g1.n != g2.n or g1.num_edges != g2.num_edges:
+        return None
+    if g1.degree_sequence() != g2.degree_sequence():
+        return None
+    d1, d2 = _as_labeled_digraph(g1), _as_labeled_digraph(g2)
+    matcher = nxiso.DiGraphMatcher(
+        d1,
+        d2,
+        node_match=lambda a, b: a["degree"] == b["degree"],
+        edge_match=lambda a, b: a["port"] == b["port"],
+    )
+    if matcher.is_isomorphic():
+        return dict(matcher.mapping)
+    return None
+
+
+def are_port_isomorphic(g1: PortGraph, g2: PortGraph) -> bool:
+    """Whether a port-preserving isomorphism ``g1 -> g2`` exists."""
+    return port_isomorphism(g1, g2) is not None
+
+
+def port_automorphism_exists(g: PortGraph) -> bool:
+    """Whether ``g`` has a *non-trivial* port-preserving automorphism.
+
+    A feasible graph (all views distinct) never has one; the converse is
+    false in general, but for the paper's constructions this is a cheap
+    necessary-condition sanity check used by the tests.
+    """
+    dg = _as_labeled_digraph(g)
+    matcher = nxiso.DiGraphMatcher(
+        dg,
+        dg,
+        node_match=lambda a, b: a["degree"] == b["degree"],
+        edge_match=lambda a, b: a["port"] == b["port"],
+    )
+    for mapping in matcher.isomorphisms_iter():
+        if any(mapping[u] != u for u in mapping):
+            return True
+    return False

@@ -1,0 +1,378 @@
+"""The frozen port-numbered graph and its builder.
+
+Design notes
+------------
+* Nodes are dense integers ``0..n-1``.  Anonymity is a property of the
+  *algorithms* (they never see these integers), not of the data structure:
+  the oracle, the verifier and the test suite all need stable handles.
+* Adjacency is stored as, for each node ``u``, a tuple indexed by local port
+  ``p`` holding ``(v, q)``: the neighbor reached through port ``p`` and the
+  port number of the same edge at ``v``.  This makes the two primitives of
+  the model O(1): "follow port p" and "on which port did this message
+  arrive".
+* The structure is immutable after :meth:`PortGraphBuilder.build`, so graphs
+  can be shared freely between the oracle, the simulator and the analyses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    FrozenGraphError,
+    GraphStructureError,
+    PortNumberingError,
+)
+
+Endpoint = Tuple[int, int]  # (node, port)
+
+
+class PortGraph:
+    """A simple undirected connected graph with local port numbers.
+
+    Instances must be created through :class:`PortGraphBuilder` (or the
+    generator/serialization helpers), which enforce the model's axioms:
+
+    * simple: no self-loops, no parallel edges;
+    * at every node of degree ``d``, the incident edges carry the distinct
+      port numbers ``{0, ..., d-1}``;
+    * port numbers are local: the two endpoints of an edge carry independent
+      numbers.
+
+    Connectivity is required by the paper's model and checked by default,
+    but the builder can skip the check for intermediate constructions.
+    """
+
+    __slots__ = ("_adj", "_num_edges", "_diameter_cache", "_ecc_cache")
+
+    def __init__(self, adj: Sequence[Sequence[Endpoint]], _token: object = None):
+        if _token is not _BUILD_TOKEN:
+            raise TypeError(
+                "PortGraph cannot be instantiated directly; use PortGraphBuilder"
+            )
+        self._adj: Tuple[Tuple[Endpoint, ...], ...] = tuple(
+            tuple(row) for row in adj
+        )
+        self._num_edges = sum(len(row) for row in self._adj) // 2
+        self._diameter_cache: Optional[int] = None
+        self._ecc_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """Iterate node identifiers ``0..n-1``."""
+        return range(self.n)
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return len(self._adj[u])
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes."""
+        return max(len(row) for row in self._adj)
+
+    def degree_sequence(self) -> Tuple[int, ...]:
+        """Sorted (descending) degree sequence."""
+        return tuple(sorted((len(row) for row in self._adj), reverse=True))
+
+    def neighbor(self, u: int, port: int) -> Endpoint:
+        """Return ``(v, q)``: the node reached from ``u`` through local port
+        ``port`` and the port number of that edge at ``v``."""
+        try:
+            return self._adj[u][port]
+        except IndexError:
+            raise PortNumberingError(
+                f"node {u} has degree {self.degree(u)}; port {port} does not exist"
+            ) from None
+
+    def ports(self, u: int) -> Tuple[Endpoint, ...]:
+        """All ``(neighbor, remote_port)`` pairs at ``u``, indexed by local
+        port (position ``p`` in the tuple is local port ``p``)."""
+        return self._adj[u]
+
+    def port_to(self, u: int, v: int) -> int:
+        """The local port at ``u`` of the edge ``{u, v}``.
+
+        Raises :class:`GraphStructureError` if ``u`` and ``v`` are not
+        adjacent.
+        """
+        for p, (w, _) in enumerate(self._adj[u]):
+            if w == v:
+                return p
+        raise GraphStructureError(f"nodes {u} and {v} are not adjacent")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return any(w == v for w, _ in self._adj[u])
+
+    def edges(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate edges as ``(u, p, v, q)`` with ``u < v``: ``p`` is the
+        port at ``u``, ``q`` the port at ``v``."""
+        for u, row in enumerate(self._adj):
+            for p, (v, q) in enumerate(row):
+                if u < v:
+                    yield (u, p, v, q)
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> List[int]:
+        """Distances from ``source`` to every node (``-1`` if unreachable)."""
+        dist = [-1] * self.n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            for v, _ in self._adj[u]:
+                if dist[v] < 0:
+                    dist[v] = du + 1
+                    queue.append(v)
+        return dist
+
+    def distance(self, u: int, v: int) -> int:
+        """Distance between ``u`` and ``v`` (``-1`` if disconnected)."""
+        return self.bfs_distances(u)[v]
+
+    def eccentricity(self, u: int) -> int:
+        """Maximum distance from ``u`` to any node."""
+        if u not in self._ecc_cache:
+            dist = self.bfs_distances(u)
+            if min(dist) < 0:
+                raise GraphStructureError(
+                    "eccentricity undefined: graph is disconnected"
+                )
+            self._ecc_cache[u] = max(dist)
+        return self._ecc_cache[u]
+
+    def diameter(self) -> int:
+        """Graph diameter (max eccentricity); O(n * m) by repeated BFS."""
+        if self._diameter_cache is None:
+            self._diameter_cache = max(
+                self.eccentricity(u) for u in self.nodes()
+            )
+        return self._diameter_cache
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (vacuously true for n <= 1)."""
+        if self.n <= 1:
+            return True
+        return min(self.bfs_distances(0)) >= 0
+
+    # ------------------------------------------------------------------
+    # path utilities (used by the election verifier)
+    # ------------------------------------------------------------------
+    def follow_port_path(
+        self, start: int, port_pairs: Sequence[Tuple[int, int]]
+    ) -> List[int]:
+        """Follow a path coded as the paper's output format.
+
+        ``port_pairs`` is ``[(p1, q1), ..., (pk, qk)]``: the i-th edge is
+        taken through local port ``p_i`` at the current node and must carry
+        port ``q_i`` at the other end.  Returns the list of visited nodes
+        (length ``k+1``).  Raises :class:`GraphStructureError` if any ``q_i``
+        does not match the actual remote port (the coded path does not exist
+        in this graph).
+        """
+        nodes = [start]
+        current = start
+        for i, (p, q) in enumerate(port_pairs):
+            v, q_actual = self.neighbor(current, p)
+            if q_actual != q:
+                raise GraphStructureError(
+                    f"port path invalid at step {i}: edge from node {current} "
+                    f"port {p} carries remote port {q_actual}, expected {q}"
+                )
+            current = v
+            nodes.append(current)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortGraph(n={self.n}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality *including node identities and ports* (this is
+        labelled equality, not anonymity-respecting isomorphism; see
+        :func:`repro.graphs.are_port_isomorphic` for the latter)."""
+        if not isinstance(other, PortGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:
+        return hash(self._adj)
+
+
+_BUILD_TOKEN = object()
+
+
+class PortGraphBuilder:
+    """Incremental, validating constructor for :class:`PortGraph`.
+
+    Typical use::
+
+        b = PortGraphBuilder()
+        u, v, w = b.add_nodes(3)
+        b.add_edge(u, 0, v, 0)      # explicit ports
+        b.add_edge_auto(v, w)       # smallest free port at each endpoint
+        g = b.build()
+
+    The builder also supports :meth:`copy_in`, which imports another
+    port graph as a disjoint block and returns the node translation —
+    the workhorse of the paper's composite lower-bound constructions
+    (rings of cliques, necklaces, lock merges, stretches).
+    """
+
+    def __init__(self, num_nodes: int = 0):
+        # per node: dict port -> (neighbor, remote_port)
+        self._ports: List[Dict[int, Endpoint]] = [dict() for _ in range(num_nodes)]
+        self._edge_set: set = set()
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ports)
+
+    def add_node(self) -> int:
+        """Append one node; returns its id."""
+        self._check_mutable()
+        self._ports.append(dict())
+        return len(self._ports) - 1
+
+    def add_nodes(self, k: int) -> List[int]:
+        """Append ``k`` nodes; returns their ids."""
+        self._check_mutable()
+        start = len(self._ports)
+        self._ports.extend(dict() for _ in range(k))
+        return list(range(start, start + k))
+
+    def degree(self, u: int) -> int:
+        """Current number of ports assigned at ``u``."""
+        return len(self._ports[u])
+
+    def used_ports(self, u: int) -> List[int]:
+        """Sorted list of port numbers already assigned at ``u``."""
+        return sorted(self._ports[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_set
+
+    def next_free_port(self, u: int) -> int:
+        """Smallest port number not yet assigned at ``u``."""
+        used = self._ports[u]
+        p = 0
+        while p in used:
+            p += 1
+        return p
+
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, port_u: int, v: int, port_v: int) -> None:
+        """Add edge ``{u, v}`` with explicit ports at both endpoints."""
+        self._check_mutable()
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphStructureError(f"self-loop at node {u} is not allowed")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edge_set:
+            raise GraphStructureError(
+                f"parallel edge {{{u}, {v}}}: the graph must be simple"
+            )
+        if port_u < 0 or port_v < 0:
+            raise PortNumberingError(
+                f"port numbers must be non-negative, got {port_u}, {port_v}"
+            )
+        if port_u in self._ports[u]:
+            raise PortNumberingError(
+                f"port {port_u} at node {u} is already assigned"
+            )
+        if port_v in self._ports[v]:
+            raise PortNumberingError(
+                f"port {port_v} at node {v} is already assigned"
+            )
+        self._ports[u][port_u] = (v, port_v)
+        self._ports[v][port_v] = (u, port_u)
+        self._edge_set.add(key)
+
+    def add_edge_auto(self, u: int, v: int) -> Tuple[int, int]:
+        """Add edge ``{u, v}`` using the smallest free port at each endpoint;
+        returns the assigned ``(port_u, port_v)``."""
+        pu = self.next_free_port(u)
+        pv = self.next_free_port(v)
+        self.add_edge(u, pu, v, pv)
+        return pu, pv
+
+    def copy_in(self, other: "PortGraph") -> List[int]:
+        """Import ``other`` as a disjoint block; returns the translation list
+        (``other``'s node ``i`` becomes ``translation[i]`` here).  All port
+        numbers are preserved verbatim."""
+        self._check_mutable()
+        translation = self.add_nodes(other.n)
+        for (a, p, b, q) in other.edges():
+            self.add_edge(translation[a], p, translation[b], q)
+        return translation
+
+    # ------------------------------------------------------------------
+    def build(
+        self, require_connected: bool = True, min_nodes: int = 1
+    ) -> PortGraph:
+        """Validate and freeze into a :class:`PortGraph`.
+
+        * ports at every node must be contiguous ``0..deg-1``;
+        * the graph must have at least ``min_nodes`` nodes (the paper's model
+          assumes ``n >= 3``; pass ``min_nodes=3`` to enforce that);
+        * connectivity is checked unless ``require_connected=False``.
+        """
+        self._check_mutable()
+        if len(self._ports) < min_nodes:
+            raise GraphStructureError(
+                f"graph has {len(self._ports)} nodes, fewer than the required "
+                f"{min_nodes}"
+            )
+        adj: List[List[Endpoint]] = []
+        for u, port_map in enumerate(self._ports):
+            d = len(port_map)
+            row: List[Endpoint] = []
+            for p in range(d):
+                if p not in port_map:
+                    raise PortNumberingError(
+                        f"node {u} has degree {d} but port {p} is unassigned "
+                        f"(assigned ports: {sorted(port_map)}); ports must be "
+                        f"exactly 0..{d - 1}"
+                    )
+                row.append(port_map[p])
+            adj.append(row)
+        graph = PortGraph(adj, _token=_BUILD_TOKEN)
+        if require_connected and not graph.is_connected():
+            raise GraphStructureError("graph is not connected")
+        self._built = True
+        return graph
+
+    # ------------------------------------------------------------------
+    def _check_mutable(self) -> None:
+        if self._built:
+            raise FrozenGraphError(
+                "builder has already produced a graph and is frozen"
+            )
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < len(self._ports)):
+            raise GraphStructureError(
+                f"node {u} does not exist (builder has {len(self._ports)} nodes)"
+            )

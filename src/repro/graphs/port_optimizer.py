@@ -1,0 +1,108 @@
+"""Port-numbering engineering: minimizing the election index.
+
+The election index — hence the minimum election time — depends not only
+on the topology but on the *port assignment*: the same graph can have
+phi = 1 under one numbering and be infeasible under another (a ring is
+hopeless with the rotation-invariant numbering, electable in 1 round
+with a well-chosen one... if the topology allows any at all).
+
+This module treats the port assignment as a design variable, a natural
+"deployment-time knob" the paper's model exposes but does not explore:
+
+* :func:`randomize_ports` — re-draw all port numbers (seeded);
+* :func:`optimize_ports` — random-restart search for an assignment with
+  the smallest election index (ties broken by advice size);
+* :func:`port_sensitivity` — the distribution of phi over random
+  assignments, quantifying how lucky the canonical numbering is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleGraphError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.util.rng import RngLike, make_rng
+from repro.views.election_index import election_index
+
+
+def randomize_ports(g: PortGraph, seed: RngLike = 0) -> PortGraph:
+    """The same topology with a fresh random legal port assignment."""
+    rng = make_rng(seed)
+    free: Dict[int, List[int]] = {}
+    for v in g.nodes():
+        ports = list(range(g.degree(v)))
+        rng.shuffle(ports)
+        free[v] = ports
+    edges = [(u, v) for (u, _, v, _) in g.edges()]
+    rng.shuffle(edges)
+    b = PortGraphBuilder(g.n)
+    for u, v in edges:
+        b.add_edge(u, free[u].pop(), v, free[v].pop())
+    return b.build()
+
+
+@dataclass
+class PortOptimizationResult:
+    """Outcome of a port-assignment search."""
+
+    graph: PortGraph
+    phi: Optional[int]  # None if every tried assignment was infeasible
+    tried: int
+    feasible_count: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.phi is not None
+
+
+def optimize_ports(
+    g: PortGraph, restarts: int = 20, seed: RngLike = 0
+) -> PortOptimizationResult:
+    """Random-restart search for the port assignment minimizing phi.
+
+    The original assignment participates as candidate 0.  Returns the best
+    feasible assignment found (smallest phi); if none is feasible —
+    possible for genuinely symmetric topologies where *no* assignment
+    works, and also just bad luck at low ``restarts`` — ``phi`` is None
+    and ``graph`` is the original.
+    """
+    rng = make_rng(seed)
+    best_graph: Optional[PortGraph] = None
+    best_phi: Optional[int] = None
+    feasible_count = 0
+    candidates = [g] + [
+        randomize_ports(g, rng) for _ in range(max(0, restarts))
+    ]
+    for candidate in candidates:
+        try:
+            phi = election_index(candidate)
+        except InfeasibleGraphError:
+            continue
+        feasible_count += 1
+        if best_phi is None or phi < best_phi:
+            best_graph, best_phi = candidate, phi
+    return PortOptimizationResult(
+        graph=best_graph if best_graph is not None else g,
+        phi=best_phi,
+        tried=len(candidates),
+        feasible_count=feasible_count,
+    )
+
+
+def port_sensitivity(
+    g: PortGraph, samples: int = 30, seed: RngLike = 0
+) -> Dict[Optional[int], int]:
+    """Histogram {phi: count} over random assignments (None = infeasible):
+    how much of the election time is topology and how much is numbering."""
+    rng = make_rng(seed)
+    histogram: Dict[Optional[int], int] = {}
+    for _ in range(samples):
+        candidate = randomize_ports(g, rng)
+        try:
+            phi: Optional[int] = election_index(candidate)
+        except InfeasibleGraphError:
+            phi = None
+        histogram[phi] = histogram.get(phi, 0) + 1
+    return histogram

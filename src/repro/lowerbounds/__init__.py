@@ -1,0 +1,98 @@
+"""The paper's lower-bound graph families, as executable constructions.
+
+Every family from Sections 3 and 4 is built here, exactly as described
+(with deterministic choices wherever the paper says "arbitrary"):
+
+* :mod:`cliques` — the port-shifted clique family F(x) (basis of both
+  Section 3 lower bounds);
+* :mod:`ring_of_cliques` — the graph H_k and family G_k of Theorem 3.2
+  (Figure 1): election index 1, advice Ω(n log log n);
+* :mod:`necklaces` — the k-necklaces N_k of Theorem 3.3 (Figure 2):
+  election index phi, advice Ω(n (log log n)^2 / log n);
+* :mod:`locks` — z-locks (Figure 3) and the ``*``-composition (Figure 4);
+* :mod:`families_t` — the S_0 family (Figure 5), lock transformation T(L)
+  (Figure 6) and the merge operation (Figures 7-8) of Theorem 4.2;
+* :mod:`hairy_rings` — hairy rings, cuts and γ-stretches (Figure 9) of
+  Proposition 4.1 (constant advice never suffices);
+* :mod:`counting` — the counting arithmetic converting family sizes into
+  advice-size lower bounds.
+"""
+
+from repro.lowerbounds.cliques import (
+    clique_family_f,
+    clique_family_sequence,
+    clique_family_size,
+    shift_sequence,
+)
+from repro.lowerbounds.ring_of_cliques import (
+    gk_family_size,
+    gk_graph,
+    hk_graph,
+    hk_params,
+)
+from repro.lowerbounds.necklaces import (
+    necklace,
+    necklace_family_size,
+    necklace_node_count,
+)
+from repro.lowerbounds.locks import add_z_lock, attach_clique, compose_star, z_lock
+from repro.lowerbounds.families_t import (
+    MergeParams,
+    S0Params,
+    merge_graphs,
+    s0_graph,
+    transform_lock,
+)
+from repro.lowerbounds.hairy_rings import (
+    cut_of_hairy_ring,
+    gamma_stretch,
+    hairy_ring,
+    prop41_fooling_graph,
+)
+from repro.lowerbounds.counting import (
+    advice_bits_required,
+    thm32_lower_bound_bits,
+    thm33_lower_bound_bits,
+    thm42_k_star,
+    thm42_lower_bound_bits,
+)
+from repro.lowerbounds.fooling import (
+    enumerate_necklace_family,
+    fooling_floor_curve,
+    shared_view_nodes,
+)
+
+__all__ = [
+    "clique_family_f",
+    "clique_family_sequence",
+    "clique_family_size",
+    "shift_sequence",
+    "hk_graph",
+    "hk_params",
+    "gk_graph",
+    "gk_family_size",
+    "necklace",
+    "necklace_family_size",
+    "necklace_node_count",
+    "z_lock",
+    "add_z_lock",
+    "attach_clique",
+    "compose_star",
+    "S0Params",
+    "MergeParams",
+    "s0_graph",
+    "transform_lock",
+    "merge_graphs",
+    "hairy_ring",
+    "cut_of_hairy_ring",
+    "gamma_stretch",
+    "prop41_fooling_graph",
+    "advice_bits_required",
+    "thm32_lower_bound_bits",
+    "thm33_lower_bound_bits",
+    "thm42_k_star",
+    "thm42_lower_bound_bits",
+    "enumerate_necklace_family",
+    "fooling_floor_curve",
+    "shared_view_nodes",
+]

@@ -1,0 +1,119 @@
+"""The clique family F(x) (Section 3).
+
+F(x) = {C_1, ..., C_y} with y = (x-1)^x: labeled cliques on x+1 nodes
+{r, v_0, ..., v_{x-1}}, all sharing the port numbering at r (port i of r
+leads to v_i) and differing by cyclic shifts of the port numbering at each
+v_j.  Concretely, a *base clique* C fixes a deterministic assignment, and
+C_t applies the shift h_j (mod x) to every port at v_j, where
+(h_0, ..., h_{x-1}) in {1..x-1}^x is the t-th shift sequence.
+
+The crucial property (exercised by Claim 3.8's proof and verified in the
+tests): corresponding nodes of two distinct cliques of F(x) already differ
+in their depth-1 views when the cliques are embedded the same way, because
+some v_j sees a shifted remote port on its edge toward a fixed-direction
+neighbor.
+
+Node convention in the returned graphs: node 0 is ``r``; node ``1 + j``
+is ``v_j``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+
+
+def clique_family_size(x: int) -> int:
+    """y = (x-1)^x, the size of F(x)."""
+    if x < 2:
+        raise GraphStructureError(f"F(x) requires x >= 2, got {x}")
+    return (x - 1) ** x
+
+
+def shift_sequence(x: int, t: int) -> Tuple[int, ...]:
+    """The t-th (0-based) shift sequence (h_0..h_{x-1}) in {1..x-1}^x,
+    enumerated as base-(x-1) digits of t, least-significant first."""
+    size = clique_family_size(x)
+    if not (0 <= t < size):
+        raise GraphStructureError(
+            f"clique index {t} out of range for F({x}) of size {size}"
+        )
+    digits = []
+    for _ in range(x):
+        digits.append(1 + (t % (x - 1)))
+        t //= x - 1
+    return tuple(digits)
+
+
+def _base_ports(x: int, j: int) -> List[Tuple[int, int]]:
+    """Port assignment at v_j in the base clique C: list of
+    (port, neighbor) where neighbor is r (encoded -1) or an index i of v_i.
+
+    Ports 0..x-2 lead to v_{(j+1+t) mod x} for t = 0..x-2; port x-1 leads
+    to r.  (The paper fixes ports at r and says "the rest ... arbitrarily";
+    this is our deterministic choice.)
+    """
+    out = []
+    for t in range(x - 1):
+        out.append((t, (j + 1 + t) % x))
+    out.append((x - 1, -1))
+    return out
+
+
+def clique_family_f(x: int, t: int) -> PortGraph:
+    """The clique C_{t+1} of F(x) (0-based index ``t``) as a PortGraph."""
+    shifts = shift_sequence(x, t)
+    b = PortGraphBuilder(x + 1)  # node 0 = r, node 1+j = v_j
+
+    def port_at_vj(j: int, neighbor: int) -> int:
+        for port, nb in _base_ports(x, j):
+            if nb == neighbor:
+                return (port + shifts[j]) % x
+        raise AssertionError("neighbor not found in base assignment")
+
+    # edges r -- v_i with port i at r
+    for i in range(x):
+        b.add_edge(0, i, 1 + i, port_at_vj(i, -1))
+    # edges v_i -- v_j
+    for i in range(x):
+        for j in range(i + 1, x):
+            b.add_edge(1 + i, port_at_vj(i, j), 1 + j, port_at_vj(j, i))
+    return b.build()
+
+
+def clique_family_sequence(x: int, count: int, start: int = 0) -> List[PortGraph]:
+    """The first ``count`` cliques of F(x), starting at index ``start``."""
+    size = clique_family_size(x)
+    if start + count > size:
+        raise GraphStructureError(
+            f"requested cliques {start}..{start + count - 1} but |F({x})| = {size}"
+        )
+    return [clique_family_f(x, t) for t in range(start, start + count)]
+
+
+def add_clique_family_member(
+    builder: PortGraphBuilder, x: int, t: int, r_node: int
+) -> List[int]:
+    """Attach an isomorphic copy of C_{t+1} of F(x) into ``builder``,
+    *identifying its node r with the existing node* ``r_node`` (the paper's
+    attachment operation for H_k and for emeralds).  The ports 0..x-1 at
+    ``r_node`` must still be free.  Returns the new nodes [v_0..v_{x-1}]."""
+    shifts = shift_sequence(x, t)
+    v_nodes = builder.add_nodes(x)
+
+    def port_at_vj(j: int, neighbor: int) -> int:
+        for port, nb in _base_ports(x, j):
+            if nb == neighbor:
+                return (port + shifts[j]) % x
+        raise AssertionError("neighbor not found in base assignment")
+
+    for i in range(x):
+        builder.add_edge(r_node, i, v_nodes[i], port_at_vj(i, -1))
+    for i in range(x):
+        for j in range(i + 1, x):
+            builder.add_edge(
+                v_nodes[i], port_at_vj(i, j), v_nodes[j], port_at_vj(j, i)
+            )
+    return v_nodes

@@ -1,0 +1,124 @@
+"""Counting arithmetic: from family sizes to advice lower bounds.
+
+The lower-bound proofs all end the same way: a family of M graphs is
+exhibited in which any correct algorithm must give *distinct* advice to
+distinct members (Claims 3.9, 3.11, property 7).  Distinct binary strings
+for M graphs force some string of length >= ceil(log2(M + 1)) - 1, because
+there are only 2^{L+1} - 1 strings of length <= L.
+
+These helpers compute the exact bound for each construction, plus the
+paper's asymptotic comparators, so the benches can print
+"measured floor vs paper's Ω(...)" tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.lowerbounds.necklaces import necklace_family_size, necklace_node_count
+from repro.lowerbounds.ring_of_cliques import gk_family_size, gk_node_count, hk_params
+
+
+def advice_bits_required(num_graphs: int) -> int:
+    """Minimum worst-case advice length (bits) for ``num_graphs`` graphs
+    that must all receive distinct advice: the smallest L such that
+    2^{L+1} - 1 >= num_graphs."""
+    if num_graphs < 1:
+        raise ValueError("need at least one graph")
+    length = 0
+    while 2 ** (length + 1) - 1 < num_graphs:
+        length += 1
+    return length
+
+
+def thm32_lower_bound_bits(k: int, x: Optional[int] = None) -> dict:
+    """Theorem 3.2 numbers for ring size k: family size (k-1)!, node count,
+    the forced advice bits, and the paper's Ω(n log log n) comparator."""
+    if x is None:
+        x = hk_params(k)
+    n = gk_node_count(k, x)
+    count = gk_family_size(k)
+    bits = advice_bits_required(count)
+    comparator = n * math.log2(max(2.0, math.log2(n)))
+    return {
+        "k": k,
+        "x": x,
+        "n": n,
+        "family_size": count,
+        "advice_bits_forced": bits,
+        "n_loglog_n": comparator,
+        "ratio": bits / comparator,
+    }
+
+
+def thm33_lower_bound_bits(k: int, phi: int, x: int) -> dict:
+    """Theorem 3.3 numbers for a k-necklace with parameter x: family size
+    (x+1)^{k-3}, node count, forced advice bits, and the paper's
+    Ω(n (log log n)^2 / log n) comparator."""
+    n = necklace_node_count(k, x, phi)
+    count = necklace_family_size(k, x)
+    bits = advice_bits_required(count)
+    loglog = math.log2(max(2.0, math.log2(n)))
+    comparator = n * loglog**2 / math.log2(n)
+    return {
+        "k": k,
+        "x": x,
+        "phi": phi,
+        "n": n,
+        "family_size": count,
+        "advice_bits_forced": bits,
+        "comparator": comparator,
+        "ratio": bits / comparator,
+    }
+
+
+def thm42_k_star(alpha: int, c: int, part: int) -> int:
+    """The k* of Theorem 4.2's proof: the largest k with B(k, c) <= alpha
+    (the number of families, hence of forced distinct advice strings)."""
+    from repro.lowerbounds.families_t import index_b
+
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    k = 0
+    while True:
+        try:
+            nxt = index_b(k + 1, c, part)
+        except OverflowError:
+            return k
+        if nxt > alpha:
+            return k
+        k += 1
+
+
+def thm42_lower_bound_bits(alpha: int, c: int = 2, part: int = 1) -> dict:
+    """Theorem 4.2 counting for one part: k* families force
+    ceil(log2(k*+1)) - 1 bits; the paper's comparator is R(alpha) =
+    alpha, log alpha, loglog alpha, log* alpha for parts 1..4."""
+    import math
+
+    from repro.util.mathfn import log_star
+
+    k_star = thm42_k_star(alpha, c, part)
+    forced = advice_bits_required(max(1, k_star))
+    if part == 1:
+        comparator = math.log2(max(2, alpha))
+    elif part == 2:
+        comparator = math.log2(max(2.0, math.log2(max(2, alpha))))
+    elif part == 3:
+        comparator = math.log2(
+            max(2.0, math.log2(max(2.0, math.log2(max(2, alpha)))))
+        )
+    elif part == 4:
+        comparator = math.log2(max(2, log_star(alpha)))
+    else:
+        raise ValueError(f"Theorem 4.2 has parts 1..4, got {part}")
+    return {
+        "part": part,
+        "alpha": alpha,
+        "c": c,
+        "k_star": k_star,
+        "forced_bits": forced,
+        "comparator": comparator,
+        "ratio": forced / comparator if comparator else float("inf"),
+    }

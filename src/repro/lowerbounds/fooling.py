@@ -1,0 +1,105 @@
+"""Fooling-pair diagnostics, and a probe into the paper's open question.
+
+The engine of every lower bound in the paper is a *fooling pair*: nodes
+v1 in G1 and v2 in G2 with B^tau(v1) = B^tau(v2), so that under equal
+advice they must output the same port sequence — which cannot be a
+correct path to a leader in both graphs.  Thanks to cross-graph view
+interning, finding fooling pairs is a dictionary join.
+
+The paper's Section 5 leaves open the advice complexity for times strictly
+between phi and D + phi.  :func:`fooling_floor_curve` measures, on an
+exhaustively enumerated necklace family, how the fooling pressure decays
+through that window: for each time tau, members whose two leaves carry the
+same depth-tau views are mutually fooled (the Claim 3.11 argument), so any
+correct time-tau algorithm needs distinct advice within each such class —
+forcing at least ceil(log2(max class size + 1)) - 1 bits.  This is a
+*floor from one argument pattern*, not a tight bound; it is the executable
+end of the open question.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graphs.port_graph import PortGraph
+from repro.lowerbounds.counting import advice_bits_required
+from repro.lowerbounds.necklaces import necklace
+from repro.views.view import View, views_of_graph
+
+
+def shared_view_nodes(
+    g1: PortGraph, g2: PortGraph, depth: int
+) -> List[Tuple[int, int]]:
+    """All pairs (v1, v2) with B^depth(v1 in g1) == B^depth(v2 in g2).
+
+    Cross-graph fooling pairs; O(n1 + n2) plus view computation.
+    """
+    views1 = views_of_graph(g1, depth)
+    views2 = views_of_graph(g2, depth)
+    by_view: Dict[View, List[int]] = {}
+    for v, view in enumerate(views2):
+        by_view.setdefault(view, []).append(v)
+    pairs: List[Tuple[int, int]] = []
+    for u, view in enumerate(views1):
+        for v in by_view.get(view, ()):
+            pairs.append((u, v))
+    return pairs
+
+
+@dataclass
+class FoolingFloorPoint:
+    """One point of the open-question probe curve."""
+
+    tau: int
+    num_members: int
+    num_leaf_view_classes: int
+    max_class_size: int
+    forced_advice_bits: int
+
+
+def enumerate_necklace_family(
+    k: int, phi: int, x: int = 3, limit: int = 64
+) -> List[Tuple[PortGraph, "NecklaceLayout"]]:
+    """All (or the first ``limit``) members of the necklace family N_k:
+    every diamond code with pinned end diamonds."""
+    free = k - 3  # free coordinates c_2..c_{k-2}
+    members = []
+    for combo in itertools.product(range(x + 1), repeat=max(0, free)):
+        code = [0, *combo, 0]
+        g, layout = necklace(k, phi, code=code, x=x, with_layout=True)
+        members.append((g, layout))
+        if len(members) >= limit:
+            break
+    return members
+
+
+def fooling_floor_curve(
+    k: int, phi: int, taus: Sequence[int], x: int = 3, limit: int = 64
+) -> List[FoolingFloorPoint]:
+    """The open-question probe: forced-advice floor vs time tau on N_k.
+
+    For each tau, group members by the pair (B^tau(left leaf),
+    B^tau(right leaf)); members sharing a group are mutually fooled at
+    time tau, so they need pairwise distinct advice.
+    """
+    members = enumerate_necklace_family(k, phi, x=x, limit=limit)
+    points: List[FoolingFloorPoint] = []
+    for tau in taus:
+        classes: Dict[Tuple[View, View], int] = {}
+        for g, layout in members:
+            views = views_of_graph(g, tau)
+            key = (views[layout.left_leaf], views[layout.right_leaf])
+            classes[key] = classes.get(key, 0) + 1
+        max_class = max(classes.values())
+        points.append(
+            FoolingFloorPoint(
+                tau=tau,
+                num_members=len(members),
+                num_leaf_view_classes=len(classes),
+                max_class_size=max_class,
+                forced_advice_bits=advice_bits_required(max_class),
+            )
+        )
+    return points

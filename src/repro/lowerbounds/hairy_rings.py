@@ -1,0 +1,193 @@
+"""Proposition 4.1: constant advice never suffices — hairy rings,
+cuts and γ-stretches (Figure 9).
+
+A *hairy ring* is a ring with a star S_{k_i} identified with each ring
+node, such that the maximum star is unique (this makes the graph feasible:
+the star center of maximum degree is a unique landmark and the oriented
+ring ports separate everything else).
+
+Ring orientation: at ring node w_i, port 0 leads counter-clockwise (to
+w_{i-1}) and port 1 clockwise (to w_{i+1}).  The *cut* at w removes the
+edge closing the ring at w; the γ-stretch chains γ copies of the cut,
+joining copy boundaries with port 0 at the entering node and port 1 at the
+leaving node — exactly reproducing the ring's local port structure, which
+is what makes nodes deep inside a stretch indistinguishable (for a bounded
+number of rounds) from nodes of the original hairy ring.
+
+:func:`prop41_fooling_graph` assembles the proposition's master graph: the
+γ-stretches of the c advice-representative hairy rings, chained, closed by
+a (γ)-star hub — itself a hairy ring, whose *foci* fool any algorithm
+whose advice has constant size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+
+
+@dataclass
+class StretchLayout:
+    """Node bookkeeping for a γ-stretch."""
+
+    first: int  # first node of the first copy (the stretch's "first node")
+    last: int  # last node of the last copy
+    copy_starts: List[int]  # id of each copy's first ring node
+    ring_nodes: List[List[int]]  # per copy, the ring nodes in order
+
+
+def _add_hairy_copy(
+    b: PortGraphBuilder, star_sizes: Sequence[int], close_ring: bool
+) -> List[int]:
+    """Add one copy of the (possibly cut) hairy ring; returns ring nodes in
+    order w_1..w_n.  Ring edges {w_i, w_{i+1}} carry port 1 at w_i and port
+    0 at w_{i+1}; the closing edge {w_n, w_1} (if any) carries port 1 at
+    w_n, port 0 at w_1."""
+    n = len(star_sizes)
+    if n < 3:
+        raise GraphStructureError(f"hairy ring requires ring size >= 3, got {n}")
+    ring = b.add_nodes(n)
+    if close_ring:
+        b.add_edge(ring[-1], 1, ring[0], 0)
+    for i in range(n - 1):
+        b.add_edge(ring[i], 1, ring[i + 1], 0)
+    for w, k in zip(ring, star_sizes):
+        if k < 0:
+            raise GraphStructureError(f"star size must be >= 0, got {k}")
+        # star ports are 2.. as in the *closed* ring, even in a cut copy
+        # (the cut removes one ring edge but keeps all other port numbers;
+        # ports 0/1 of the boundary nodes stay reserved for the re-joining
+        # edges of the stretch / fooling graph)
+        for j in range(k):
+            leaf = b.add_node()
+            b.add_edge(w, 2 + j, leaf, 0)
+    return ring
+
+
+def hairy_ring(star_sizes: Sequence[int]) -> PortGraph:
+    """The hairy ring with star S_{star_sizes[i]} at ring node w_{i+1}.
+
+    Requires the maximum star size to be unique (the class H of
+    Proposition 4.1).  Ring node w_{i+1} precedes all its star leaves in
+    the node numbering; node 0 is w_1.
+    """
+    sizes = list(star_sizes)
+    if sizes.count(max(sizes)) != 1:
+        raise GraphStructureError(
+            "the maximum star of a hairy ring must be unique (class H)"
+        )
+    b = PortGraphBuilder()
+    _add_hairy_copy(b, sizes, close_ring=True)
+    return b.build()
+
+
+def cut_of_hairy_ring(star_sizes: Sequence[int]) -> PortGraph:
+    """The cut of the hairy ring at w_1: the ring edge {w_1, w_n} removed.
+
+    The paper's cut is an intermediate fragment with dangling port 0 at the
+    first node and port 1 at the last (they get re-used by the stretch's
+    joining edges).  A standalone :class:`PortGraph` must have contiguous
+    ports, so this constructor caps the two dangling ports with pendant
+    nodes; inner nodes are unaffected.  Node 0 is the first node (w_1).
+    """
+    b = PortGraphBuilder()
+    ring = _add_hairy_copy(b, list(star_sizes), close_ring=False)
+    cap_a = b.add_node()
+    b.add_edge(ring[0], 0, cap_a, 0)
+    cap_b = b.add_node()
+    b.add_edge(ring[-1], 1, cap_b, 0)
+    return b.build()
+
+
+def gamma_stretch(
+    star_sizes: Sequence[int], gamma: int, with_layout: bool = False
+):
+    """The γ-stretch of the hairy ring, cut at w_1 (Figure 9c).
+
+    Copies are chained left to right; the joining edge carries port 0 at
+    the entering copy's first node and port 1 at the leaving copy's last
+    node, replicating the ring's port structure.  Like the cut, the
+    standalone stretch caps its two outer dangling ports with pendant
+    nodes (the fooling graph instead closes them through its hub).
+    """
+    if gamma < 2:
+        raise GraphStructureError(f"gamma-stretch requires gamma >= 2, got {gamma}")
+    sizes = list(star_sizes)
+    b = PortGraphBuilder()
+    rings: List[List[int]] = []
+    for i in range(gamma):
+        ring = _add_hairy_copy(b, sizes, close_ring=False)
+        if rings:
+            b.add_edge(rings[-1][-1], 1, ring[0], 0)
+        rings.append(ring)
+    cap_a = b.add_node()
+    b.add_edge(rings[0][0], 0, cap_a, 0)
+    cap_b = b.add_node()
+    b.add_edge(rings[-1][-1], 1, cap_b, 0)
+    g = b.build()
+    layout = StretchLayout(
+        first=rings[0][0],
+        last=rings[-1][-1],
+        copy_starts=[r[0] for r in rings],
+        ring_nodes=rings,
+    )
+    return (g, layout) if with_layout else g
+
+
+@dataclass
+class FoolingGraphLayout:
+    """Bookkeeping of Proposition 4.1's master graph."""
+
+    hub: int  # central node of the closing star (unique max degree)
+    stretch_first: List[int]  # first node of each component stretch
+    stretch_copy_starts: List[List[int]]  # per stretch, copy boundaries
+
+
+def prop41_fooling_graph(
+    families: Sequence[Sequence[int]], gamma: int, with_layout: bool = False
+):
+    """The graph G of Proposition 4.1: for each hairy-ring spec in
+    ``families`` take its γ-stretch, chain them all, and close the chain
+    through the central node of a fresh γ-star.
+
+    The result is itself a hairy ring (unique max degree γ+2 at the hub),
+    so it belongs to the class the hypothetical algorithm must serve.
+    """
+    if len(families) < 1:
+        raise GraphStructureError("need at least one hairy-ring family")
+    b = PortGraphBuilder()
+    firsts: List[int] = []
+    copy_starts: List[List[int]] = []
+    prev_last: Optional[int] = None
+    first_of_all: Optional[int] = None
+    for sizes in families:
+        rings: List[List[int]] = []
+        for _ in range(gamma):
+            ring = _add_hairy_copy(b, list(sizes), close_ring=False)
+            if rings:
+                b.add_edge(rings[-1][-1], 1, ring[0], 0)
+            rings.append(ring)
+        if prev_last is not None:
+            b.add_edge(prev_last, 1, rings[0][0], 0)
+        else:
+            first_of_all = rings[0][0]
+        firsts.append(rings[0][0])
+        copy_starts.append([r[0] for r in rings])
+        prev_last = rings[-1][-1]
+    # the closing γ-star hub: ring ports 0 (to prev_last side? no --
+    # counter-clockwise = toward the last stretch) and 1 (clockwise =
+    # toward the first stretch), plus gamma leaves
+    hub = b.add_node()
+    b.add_edge(prev_last, 1, hub, 0)
+    b.add_edge(hub, 1, first_of_all, 0)
+    for _ in range(gamma):
+        leaf = b.add_node()
+        b.add_edge(hub, b.next_free_port(hub), leaf, 0)
+    g = b.build()
+    layout = FoolingGraphLayout(
+        hub=hub, stretch_first=firsts, stretch_copy_starts=copy_starts
+    )
+    return (g, layout) if with_layout else g

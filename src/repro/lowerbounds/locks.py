@@ -1,0 +1,97 @@
+"""z-locks (Figure 3), clique attachments and the ``*``-composition
+(Figure 4) — the building blocks of Theorem 4.2's families.
+
+A z-lock is a 3-cycle (ports 0, 1 in clockwise order at each cycle node)
+with a clique of size z identified with one cycle node, the *central node*
+w (the unique node of degree z+1 inside the lock).  The *principal node*
+is the cycle node reached from w through port 0.
+
+``A * B`` joins two disjoint graphs by a single edge (Figure 4); in the
+Theorem 4.2 families the joining ports are the smallest free ports at the
+chosen endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+
+
+@dataclass
+class LockHandles:
+    """Node ids of a lock written into a builder."""
+
+    central: int
+    principal: int
+    other_cycle: int
+    clique: List[int]  # the z-1 clique nodes besides the central node
+
+
+def attach_clique(builder: PortGraphBuilder, node: int, size: int) -> List[int]:
+    """Attach a clique of ``size`` nodes by identifying one of them with
+    ``node`` (the paper's recurring "attach a clique of size s" step).
+    Internal ports use the smallest free port at each endpoint, so the
+    existing ports of ``node`` are preserved.  Returns the size-1 new
+    nodes."""
+    if size < 2:
+        raise GraphStructureError(f"attached clique must have size >= 2, got {size}")
+    fresh = builder.add_nodes(size - 1)
+    members = [node, *fresh]
+    for i in range(len(members)):
+        for j in range(i + 1, len(members)):
+            builder.add_edge_auto(members[i], members[j])
+    return fresh
+
+
+def add_z_lock(builder: PortGraphBuilder, z: int) -> LockHandles:
+    """Write a z-lock into the builder; returns its handles.
+
+    Ports: the 3-cycle uses 0 (clockwise) and 1 at each of its three
+    nodes; the clique occupies ports 2..z at the central node and the
+    smallest free ports elsewhere.
+    """
+    if z < 4:
+        raise GraphStructureError(f"z-lock requires z >= 4, got {z}")
+    central = builder.add_node()
+    principal = builder.add_node()
+    other = builder.add_node()
+    # clockwise 3-cycle central -> principal -> other -> central
+    builder.add_edge(central, 0, principal, 1)
+    builder.add_edge(principal, 0, other, 1)
+    builder.add_edge(other, 0, central, 1)
+    clique = attach_clique(builder, central, z)
+    return LockHandles(
+        central=central, principal=principal, other_cycle=other, clique=clique
+    )
+
+
+def z_lock(z: int) -> PortGraph:
+    """A standalone z-lock graph (z + 2 nodes)."""
+    b = PortGraphBuilder()
+    add_z_lock(b, z)
+    return b.build()
+
+
+def compose_star(graphs: List[PortGraph], join_nodes: List[Tuple[int, int]]) -> PortGraph:
+    """``G_1 * G_2 * ... * G_r`` (Figure 4): disjoint copies joined by one
+    edge between consecutive components.
+
+    ``join_nodes[i] = (a, b)``: the edge between component i and i+1 uses
+    node ``a`` of ``G_i`` and node ``b`` of ``G_{i+1}`` (original ids),
+    with the smallest free port at each.  Returns the composed graph;
+    component i's node v becomes ``offset_i + v`` where offsets follow
+    construction order.
+    """
+    if len(join_nodes) != len(graphs) - 1:
+        raise GraphStructureError(
+            f"need {len(graphs) - 1} join edges for {len(graphs)} components, "
+            f"got {len(join_nodes)}"
+        )
+    b = PortGraphBuilder()
+    translations = [b.copy_in(g) for g in graphs]
+    for i, (a, b_node) in enumerate(join_nodes):
+        b.add_edge_auto(translations[i][a], translations[i + 1][b_node])
+    return b.build()

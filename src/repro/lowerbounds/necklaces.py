@@ -1,0 +1,199 @@
+"""Theorem 3.3's lower-bound family: k-necklaces (Figure 2).
+
+A necklace strings together, left to right:
+
+* a chain a_0 .. a_{phi-2} (the *left leaf* a_0 has degree 1),
+* joints w_1 .. w_k, each carrying an *emerald* — a distinct clique from
+  F(x) identified with the joint at its node r,
+* between consecutive joints, a *diamond* D_i — a clique of size x whose
+  every node is attached by *rays* to both w_i and w_{i+1},
+* a right chain b_0 .. b_{phi-2} (the *right leaf* b_0 has degree 1).
+
+Port layout (exactly the paper's):
+
+* diamond-internal ports: a fixed circulant numbering in {0..x-2};
+* at a diamond node, the ray to w_i carries port x-1, the ray to w_{i+1}
+  carries port x (before the code shift);
+* at joint w_i, emerald ports are 0..x-1; ray ports toward D_{i-1}/D_i
+  come from {x..2x-1} and {2x..3x-1}, which of the two depending on the
+  parity of i (w_1 and w_k use {x..2x-1} toward their single diamond and
+  port 2x for the chain);
+* chain ports: each a_i/b_i has port 0 pointing away from the leaf and
+  port 1 pointing toward it.
+
+A family member is selected by a *code*: a shift c_i in {0..x} per diamond
+D_i, applied to every port of every node of D_i modulo x+1.  The end
+diamonds are pinned to shift 0 (this is how the left/right-leaf views
+coincide across the family — the paper's "c_1 = c_k = 0" with its count
+(x+1)^{k-3}, i.e. free coordinates c_2..c_{k-2}).
+
+Claim 3.10: every k-necklace has election index exactly phi (for phi >= 2,
+k large enough for distinct emeralds; verified computationally in the
+tests and benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.lowerbounds.cliques import add_clique_family_member, clique_family_size
+
+
+@dataclass
+class NecklaceLayout:
+    """Node ids of the distinguished parts of a built necklace."""
+
+    joints: List[int]
+    diamonds: List[List[int]]
+    left_chain: List[int]  # a_0 .. a_{phi-2}
+    right_chain: List[int]  # b_0 .. b_{phi-2}
+
+    @property
+    def left_leaf(self) -> int:
+        return self.left_chain[0]
+
+    @property
+    def right_leaf(self) -> int:
+        return self.right_chain[0]
+
+
+def necklace_family_size(k: int, x: int) -> int:
+    """(x+1)^(k-3): free code coordinates c_2..c_{k-2} (paper's count)."""
+    if k < 4:
+        raise GraphStructureError(f"necklace family needs k >= 4, got {k}")
+    return (x + 1) ** (k - 3)
+
+
+def necklace_node_count(k: int, x: int, phi: int) -> int:
+    """n = 2(phi-1) + k(x+1) + (k-1)x."""
+    return 2 * (phi - 1) + k * (x + 1) + (k - 1) * x
+
+
+def necklace(
+    k: int,
+    phi: int,
+    code: Optional[Sequence[int]] = None,
+    x: Optional[int] = None,
+    with_layout: bool = False,
+):
+    """Build the k-necklace with election index ``phi`` and diamond-shift
+    ``code`` (one entry per diamond D_1..D_{k-1}; end diamonds must be 0;
+    defaults to the all-zero code, i.e. the graph M_k).
+
+    Returns the :class:`PortGraph`, or ``(graph, layout)`` if
+    ``with_layout``.
+    """
+    if k < 2:
+        raise GraphStructureError(f"necklace requires k >= 2 joints, got {k}")
+    if phi < 2:
+        raise GraphStructureError(
+            f"necklaces model election index phi >= 2, got {phi} "
+            "(Theorem 3.3 is the phi > 1 case; Theorem 3.2 covers phi = 1)"
+        )
+    if x is None:
+        x = 2
+        while clique_family_size(x) < k:
+            x += 1
+    if clique_family_size(x) < k:
+        raise GraphStructureError(
+            f"need k={k} distinct emeralds but |F({x})| = {clique_family_size(x)}"
+        )
+    num_diamonds = k - 1
+    if code is None:
+        code = [0] * num_diamonds
+    code = list(code)
+    if len(code) != num_diamonds:
+        raise GraphStructureError(
+            f"code must have one entry per diamond ({num_diamonds}), got {len(code)}"
+        )
+    if any(not (0 <= c <= x) for c in code):
+        raise GraphStructureError(f"code entries must lie in 0..{x}")
+    if code[0] != 0 or code[-1] != 0:
+        raise GraphStructureError(
+            "end diamonds must have shift 0 (the family pins them so the "
+            "leaf views coincide across members)"
+        )
+
+    b = PortGraphBuilder()
+    joints = [b.add_node() for _ in range(k)]
+
+    # emeralds: distinct F(x) cliques, using ports 0..x-1 at each joint
+    for i, w in enumerate(joints):
+        add_clique_family_member(b, x, i, w)
+
+    # diamonds with rays
+    diamonds: List[List[int]] = []
+    for i in range(num_diamonds):  # D_{i+1} between w_{i+1} and w_{i+2}
+        shift = code[i]
+        nodes = b.add_nodes(x)
+        diamonds.append(nodes)
+
+        def dport(p: int) -> int:
+            return (p + shift) % (x + 1)
+
+        # internal circulant ports in {0..x-2} (before shift)
+        for a in range(x):
+            for c in range(a + 1, x):
+                pa = (c - a) % x - 1
+                pc = (a - c) % x - 1
+                b.add_edge(nodes[a], dport(pa), nodes[c], dport(pc))
+        # rays; joint-side ports by parity (1-based joint index)
+        left_joint, right_joint = joints[i], joints[i + 1]
+        left_index, right_index = i + 1, i + 2
+        left_base = _ray_base(left_index, is_right_diamond=True, x=x, k=k)
+        right_base = _ray_base(right_index, is_right_diamond=False, x=x, k=k)
+        for j, d in enumerate(nodes):
+            b.add_edge(left_joint, left_base + j, d, dport(x - 1))
+            b.add_edge(right_joint, right_base + j, d, dport(x))
+
+    # chains
+    left_chain = _add_chain(b, phi, joints[0], x)
+    right_chain = _add_chain(b, phi, joints[-1], x)
+
+    g = b.build()
+    layout = NecklaceLayout(
+        joints=joints,
+        diamonds=diamonds,
+        left_chain=left_chain,
+        right_chain=right_chain,
+    )
+    return (g, layout) if with_layout else g
+
+
+def _ray_base(joint_index: int, is_right_diamond: bool, x: int, k: int) -> int:
+    """First port number at joint ``joint_index`` (1-based) for its rays
+    toward the diamond on its right (``is_right_diamond``) or left.
+
+    w_1 and w_k have a single diamond, served from {x..2x-1}.  An internal
+    even joint serves its left diamond from {x..2x-1} and its right from
+    {2x..3x-1}; an odd internal joint swaps the two ranges.
+    """
+    if joint_index == 1 or joint_index == k:
+        return x
+    if joint_index % 2 == 0:
+        return 2 * x if is_right_diamond else x
+    return x if is_right_diamond else 2 * x
+
+
+def _add_chain(b: PortGraphBuilder, phi: int, joint: int, x: int) -> List[int]:
+    """The chain c_0..c_{phi-2} hanging off a terminal joint; the joint-side
+    port is 2x, the chain's internal ports follow the paper (0 away from
+    the leaf, 1 toward it).  Returns [c_0, ..., c_{phi-2}]."""
+    nodes = b.add_nodes(phi - 1)
+    if phi == 2:
+        # single chain node: its only port, 0, leads to the joint
+        b.add_edge(nodes[0], 0, joint, 2 * x)
+        return nodes
+    # c_{phi-2} attaches to the joint through its port 0
+    b.add_edge(nodes[-1], 0, joint, 2 * x)
+    # internal edges: at c_i, port 0 toward c_{i+1}, port 1 toward c_{i-1};
+    # the leaf c_0 has only port 0 (toward c_1); c_{phi-2} uses port 1
+    # toward c_{phi-3}
+    for i in range(phi - 2):
+        port_low = 0  # at c_i toward c_{i+1}
+        port_high = 1  # at c_{i+1} toward c_i
+        b.add_edge(nodes[i], port_low, nodes[i + 1], port_high)
+    return nodes

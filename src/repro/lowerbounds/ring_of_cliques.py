@@ -1,0 +1,99 @@
+"""Theorem 3.2's lower-bound family: the ring-of-cliques H_k and the
+family G_k (Figure 1).
+
+H_k: a ring w_1..w_k (ports x at the clockwise edge and x+1 at the
+counter-clockwise edge of every ring node) with an isomorphic copy of the
+t-th clique of F(x) attached at w_t (identifying w_t with the clique's
+node r).  G_k keeps the clique at w_1 fixed and permutes the cliques at
+w_2..w_k — (k-1)! graphs, all of election index 1 (Claim 3.8), pairwise
+requiring different advice for election in time 1 (Claim 3.9), whence the
+Ω(n log log n) bound.
+
+The paper sets x = ceil(2 log k / log log k) for k >= 2^16 so that
+k <= (x-1)^x; for small experimental k we take the smallest x with
+k <= (x-1)^x (same constraint, same shape).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.lowerbounds.cliques import add_clique_family_member, clique_family_size
+
+
+def hk_params(k: int) -> int:
+    """The clique parameter x for a given ring size k: the paper's formula
+    when it satisfies the constraint, otherwise the smallest valid x."""
+    if k < 3:
+        raise GraphStructureError(f"H_k requires ring size k >= 3, got {k}")
+    if k >= 2**16:
+        x = math.ceil(2 * math.log2(k) / math.log2(math.log2(k)))
+        if k <= clique_family_size(x):
+            return x
+    x = 2
+    while clique_family_size(x) < k:
+        x += 1
+    return x
+
+
+def hk_graph(
+    k: int, x: Optional[int] = None, clique_indices: Optional[Sequence[int]] = None
+) -> PortGraph:
+    """The graph H_k (Figure 1), or — with ``clique_indices`` — a member of
+    the family G_k.
+
+    ``clique_indices[t]`` is the F(x)-index of the clique attached at ring
+    node ``w_{t+1}``; defaults to (0, 1, ..., k-1), i.e. H_k itself.  Ring
+    node w_{t+1} is graph node ``t * (x + 1)``; its clique fills the next
+    x node ids.
+    """
+    if x is None:
+        x = hk_params(k)
+    if clique_family_size(x) < k:
+        raise GraphStructureError(
+            f"need k={k} distinct cliques but |F({x})| = {clique_family_size(x)}"
+        )
+    if clique_indices is None:
+        clique_indices = list(range(k))
+    if len(clique_indices) != k:
+        raise GraphStructureError(
+            f"clique_indices must have length k={k}, got {len(clique_indices)}"
+        )
+    if len(set(clique_indices)) != k:
+        raise GraphStructureError("clique_indices must be distinct")
+
+    b = PortGraphBuilder()
+    ring_nodes: List[int] = []
+    for t in range(k):
+        w = b.add_node()
+        ring_nodes.append(w)
+        add_clique_family_member(b, x, clique_indices[t], w)
+    # ring edges: port x clockwise, x+1 counter-clockwise
+    for t in range(k):
+        b.add_edge(ring_nodes[t], x, ring_nodes[(t + 1) % k], x + 1)
+    return b.build()
+
+
+def gk_graph(k: int, permutation: Sequence[int], x: Optional[int] = None) -> PortGraph:
+    """A member of G_k: ``permutation`` is a permutation of (1..k-1) giving
+    the order of the cliques at w_2..w_k (the clique at w_1 stays 0)."""
+    if sorted(permutation) != list(range(1, k)):
+        raise GraphStructureError(
+            "permutation must be a permutation of 1..k-1 (clique 0 stays at w_1)"
+        )
+    return hk_graph(k, x=x, clique_indices=[0, *permutation])
+
+
+def gk_family_size(k: int) -> int:
+    """|G_k| = (k-1)!."""
+    return math.factorial(k - 1)
+
+
+def gk_node_count(k: int, x: Optional[int] = None) -> int:
+    """n_k = k * (x + 1)."""
+    if x is None:
+        x = hk_params(k)
+    return k * (x + 1)

@@ -1,0 +1,53 @@
+"""Simulation of the LOCAL model (Peleg) used by the paper.
+
+Communication proceeds in synchronous rounds; in each round every node may
+exchange arbitrary messages with its neighbors and do arbitrary local
+computation.  Nodes are anonymous: a node algorithm sees only
+
+* its own degree,
+* the advice bitstring (identical at every node),
+* per-round messages, indexed by the *local port* they arrived through.
+
+The engine enforces this boundary structurally: algorithms receive a
+:class:`NodeContext`, never the graph.
+
+:class:`SyncEngine` is the reference executor; :class:`AsyncEngine` runs
+the same node algorithms under adversarial (seeded) message delays using
+round time-stamps — the paper's remark that the synchronous process can be
+simulated asynchronously — and is required by the tests to produce
+identical outputs.
+
+:class:`ViewAccumulator` implements the COM(i) subroutine (Algorithm 1):
+repeated full exchanges after which a node holds its augmented truncated
+view at depth equal to the number of rounds elapsed.
+"""
+
+from repro.sim.local_model import (
+    NodeAlgorithm,
+    NodeContext,
+    RunResult,
+    SyncEngine,
+    run_sync,
+)
+from repro.sim.com import ComMessage, ViewAccumulator
+from repro.sim.async_model import AsyncEngine, run_async
+from repro.sim.strict import WireWrapped, wire_wrapped
+from repro.sim.trace import RoundTrace, Tracer, message_cost, view_dag_size
+
+__all__ = [
+    "NodeAlgorithm",
+    "NodeContext",
+    "RunResult",
+    "SyncEngine",
+    "run_sync",
+    "ComMessage",
+    "ViewAccumulator",
+    "AsyncEngine",
+    "run_async",
+    "WireWrapped",
+    "wire_wrapped",
+    "Tracer",
+    "RoundTrace",
+    "message_cost",
+    "view_dag_size",
+]

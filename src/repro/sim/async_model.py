@@ -1,0 +1,159 @@
+"""Asynchronous execution of synchronous node algorithms.
+
+The paper notes that "the synchronous process of the LOCAL model can be
+simulated in an asynchronous network using time-stamps".  This module is
+that simulation (an alpha-synchronizer): every message is stamped with the
+sender's local round number; a node buffers incoming messages per round and
+advances its local round only once it holds the full set of round-r
+messages from all its ports.  Message delays are adversarial but finite —
+here, seeded-random per message — and FIFO per link is *not* assumed.
+
+Any :class:`~repro.sim.local_model.NodeAlgorithm` runs unmodified; the
+tests require bit-identical outputs to :class:`SyncEngine`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.errors import SimulationError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.local_model import NodeAlgorithm, NodeContext, RunResult
+from repro.util.rng import RngLike, make_rng
+
+
+class AsyncEngine:
+    """Event-driven executor with per-message random delays."""
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        advice: Optional[Bits] = None,
+        seed: RngLike = 0,
+        max_delay: float = 10.0,
+        max_rounds: int = 10_000,
+        max_events: int = 5_000_000,
+    ):
+        self._g = graph
+        self._factory = algorithm_factory
+        self._advice = advice
+        self._rng = make_rng(seed)
+        self._max_delay = max_delay
+        self._max_rounds = max_rounds
+        self._max_events = max_events
+
+    def run(self) -> RunResult:
+        g = self._g
+        rng = self._rng
+        algorithms = [self._factory() for _ in g.nodes()]
+        contexts = [NodeContext(g.degree(v), self._advice) for v in g.nodes()]
+        # per node: local round counter and round -> port -> message buffers
+        local_round = [0] * g.n
+        buffers: List[Dict[int, List[Optional[Any]]]] = [dict() for _ in g.nodes()]
+        total_messages = 0
+
+        heap: List[Tuple[float, int, int, int, int, Any]] = []
+        counter = itertools.count()
+
+        def send_round(u: int) -> None:
+            """Node u composes and ships its round-(local_round[u]+1)
+            messages with random delays and a round stamp."""
+            nonlocal total_messages
+            out = algorithms[u].compose(contexts[u]) or {}
+            stamp = local_round[u] + 1
+            for port, msg in out.items():
+                v, q = g.neighbor(u, port)
+                delay = rng.uniform(0.01, self._max_delay)
+                heapq.heappush(
+                    heap, (delay + _now[0], next(counter), v, q, stamp, msg)
+                )
+                total_messages += 1
+
+        def round_complete(v: int, stamp: int) -> bool:
+            buf = buffers[v].get(stamp)
+            if buf is None:
+                # a node with sending neighbors always gets messages; an
+                # all-None round is complete only for expected-empty inboxes,
+                # which COM-style algorithms never produce. Treat missing
+                # buffer as incomplete.
+                return False
+            return all(slot is not _PENDING for slot in buf)
+
+        _PENDING = object()
+        _now = [0.0]
+
+        for v in g.nodes():
+            algorithms[v].setup(contexts[v])
+        if all(contexts[v].has_output for v in g.nodes()):
+            return RunResult(
+                outputs={v: contexts[v].output_value for v in g.nodes()},
+                output_round={v: contexts[v]._output_round for v in g.nodes()},
+                rounds=0,
+                total_messages=0,
+            )
+
+        # everyone launches round 1
+        for v in g.nodes():
+            buffers[v][local_round[v] + 1] = [_PENDING] * g.degree(v)
+            send_round(v)
+
+        events = 0
+        while heap:
+            events += 1
+            if events > self._max_events:
+                raise SimulationError(
+                    f"asynchronous run exceeded max_events={self._max_events}"
+                )
+            time, _, v, q, stamp, msg = heapq.heappop(heap)
+            _now[0] = time
+            buf = buffers[v].setdefault(stamp, None)
+            if buf is None:
+                buffers[v][stamp] = buf = [_PENDING] * g.degree(v)
+            if buf[q] is not _PENDING:
+                raise SimulationError(
+                    f"duplicate round-{stamp} message on port {q} of a node"
+                )
+            buf[q] = msg
+            # advance this node through every now-complete round in order
+            while round_complete(v, local_round[v] + 1):
+                stamp_done = local_round[v] + 1
+                inbox = buffers[v].pop(stamp_done)
+                local_round[v] = stamp_done
+                contexts[v]._round = stamp_done
+                algorithms[v].deliver(contexts[v], inbox)
+                if all(contexts[u].has_output for u in g.nodes()):
+                    return RunResult(
+                        outputs={u: contexts[u].output_value for u in g.nodes()},
+                        output_round={
+                            u: contexts[u]._output_round for u in g.nodes()
+                        },
+                        rounds=max(local_round),
+                        total_messages=total_messages,
+                    )
+                if stamp_done >= self._max_rounds:
+                    raise SimulationError(
+                        f"a node exceeded max_rounds={self._max_rounds} "
+                        "without all outputs present"
+                    )
+                send_round(v)
+
+        stuck = [v for v in g.nodes() if not contexts[v].has_output]
+        raise SimulationError(
+            f"asynchronous run drained all events but {len(stuck)} nodes "
+            f"never output (first few: {stuck[:5]})"
+        )
+
+
+def run_async(
+    graph: PortGraph,
+    algorithm_factory: Callable[[], NodeAlgorithm],
+    advice: Optional[Bits] = None,
+    seed: RngLike = 0,
+    **kwargs,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`AsyncEngine`."""
+    return AsyncEngine(graph, algorithm_factory, advice, seed=seed, **kwargs).run()

@@ -1,0 +1,74 @@
+"""The COM subroutine (Algorithm 1) as reusable node-side machinery.
+
+``COM(i)``: send B^i(u) to all neighbors; receive B^i(v) from each neighbor
+v.  After executing COM(0..t-1), a node holds its augmented truncated view
+at depth t.
+
+A message must let the receiver reconstruct its own view, which requires
+the *remote* port number of each incident edge; the sender therefore tags
+the message with the port it is sending through (an "arbitrary message" in
+the LOCAL model).  :class:`ViewAccumulator` packages the send/absorb pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.views.view import View
+
+#: (sender's port for this edge, sender's current view)
+ComMessage = Tuple[int, View]
+
+
+class ViewAccumulator:
+    """Node-side state for iterated COM.
+
+    After construction the node holds B^0 (its degree); each
+    :meth:`absorb` of a full inbox advances the view by one depth.
+    """
+
+    __slots__ = ("degree", "view")
+
+    def __init__(self, degree: int):
+        self.degree = degree
+        self.view: View = View.make(degree, ())
+
+    @property
+    def depth(self) -> int:
+        """Current view depth (= number of COM rounds absorbed)."""
+        return self.view.depth
+
+    def outgoing(self) -> Dict[int, ComMessage]:
+        """COM send phase: my current view on every port, tagged with the
+        sending port so the receiver learns the remote port number."""
+        return {p: (p, self.view) for p in range(self.degree)}
+
+    def absorb(self, inbox: List[Optional[Any]]) -> View:
+        """COM receive phase: combine neighbor views (all at my current
+        depth) into my view at depth+1.  Requires a message on every port —
+        in the synchronous model all neighbors execute COM in lockstep."""
+        if len(inbox) != self.degree:
+            raise SimulationError(
+                f"inbox has {len(inbox)} slots for a degree-{self.degree} node"
+            )
+        children = []
+        for p, msg in enumerate(inbox):
+            if msg is None:
+                raise SimulationError(
+                    f"COM round missing a message on port {p}; neighbors must "
+                    "run COM in lockstep"
+                )
+            remote_port, neighbor_view = msg
+            if not isinstance(neighbor_view, View):
+                raise SimulationError(
+                    f"COM message on port {p} does not carry a View"
+                )
+            if neighbor_view.depth != self.view.depth:
+                raise SimulationError(
+                    f"COM depth mismatch on port {p}: neighbor sent depth "
+                    f"{neighbor_view.depth}, expected {self.view.depth}"
+                )
+            children.append((remote_port, neighbor_view))
+        self.view = View.make(self.degree, tuple(children))
+        return self.view

@@ -1,0 +1,244 @@
+"""Synchronous LOCAL-model engine.
+
+Round semantics (matching the paper's time accounting):
+
+* Before any communication, every node's algorithm runs :meth:`setup`
+  (an algorithm that outputs here has election time 0).
+* Communication round ``i`` (``i = 1, 2, ...``): every node composes its
+  outgoing messages from its current state, then all messages are
+  delivered simultaneously, then every node processes its inbox.  A node
+  whose output is produced while processing round ``i`` has election time
+  ``i`` — "after ``i`` rounds", e.g. Algorithm ``Elect`` outputs at time
+  exactly phi.
+* The run's *time* is the maximum election time over nodes, i.e. the
+  paper's "minimum number of rounds sufficient to complete election by all
+  nodes".
+
+Nodes keep participating (relaying COM messages) after producing their
+output; the engine stops as soon as every node has output.  This mirrors
+standard LOCAL usage where "termination" means committing an output, and
+sidesteps the pseudo-code subtlety that a node's repeat-loop may need one
+more message from a neighbor that already decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.errors import AlgorithmError, SimulationError
+from repro.graphs.port_graph import PortGraph
+from repro.views.view import View
+
+#: Types a message may be built from in paranoid mode.
+_ALLOWED_MESSAGE_TYPES = (int, str, bool, type(None), View, Bits)
+
+
+def _check_message(msg: Any) -> None:
+    if isinstance(msg, _ALLOWED_MESSAGE_TYPES):
+        return
+    if isinstance(msg, (tuple, frozenset)):
+        for item in msg:
+            _check_message(item)
+        return
+    raise AlgorithmError(
+        f"message contains a {type(msg).__name__}; only immutable primitives, "
+        "tuples, frozensets, Views and Bits may be sent (anonymous nodes must "
+        "not share mutable state)"
+    )
+
+
+class NodeContext:
+    """Everything a node algorithm is allowed to see."""
+
+    __slots__ = ("_degree", "_advice", "_output", "_output_round", "_round")
+
+    def __init__(self, degree: int, advice: Optional[Bits]):
+        self._degree = degree
+        self._advice = advice
+        self._output: Any = None
+        self._output_round: Optional[int] = None
+        self._round = 0
+
+    @property
+    def degree(self) -> int:
+        """Degree of this node (the only initial knowledge besides advice)."""
+        return self._degree
+
+    @property
+    def advice(self) -> Optional[Bits]:
+        """The oracle's advice string (identical at every node), or None."""
+        return self._advice
+
+    @property
+    def round_index(self) -> int:
+        """Number of completed communication rounds."""
+        return self._round
+
+    @property
+    def has_output(self) -> bool:
+        return self._output_round is not None
+
+    @property
+    def output_value(self) -> Any:
+        return self._output
+
+    def output(self, value: Any) -> None:
+        """Commit this node's election output (a sequence of port numbers).
+
+        May be called once; the node may keep sending messages afterwards.
+        """
+        if self._output_round is not None:
+            raise AlgorithmError("node attempted to output twice")
+        self._output = value
+        self._output_round = self._round
+
+
+class NodeAlgorithm(Protocol):
+    """Per-node deterministic algorithm.  One instance per node."""
+
+    def setup(self, ctx: NodeContext) -> None:
+        """Initialization before any communication (may output)."""
+
+    def compose(self, ctx: NodeContext) -> Optional[Dict[int, Any]]:
+        """Messages to send this round: ``{local_port: message}`` (or None).
+        Called every round, including after the node has output."""
+
+    def deliver(self, ctx: NodeContext, inbox: List[Optional[Any]]) -> None:
+        """Process the messages received this round; ``inbox[p]`` is the
+        message that arrived through local port ``p`` (None if none)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a simulation run."""
+
+    outputs: Dict[int, Any]
+    output_round: Dict[int, int]
+    rounds: int
+    total_messages: int
+    per_round_messages: List[int] = field(default_factory=list)
+
+    @property
+    def election_time(self) -> int:
+        """The paper's election time: max over nodes of the round at which
+        the node produced its output."""
+        return max(self.output_round.values()) if self.output_round else 0
+
+
+class SyncEngine:
+    """Synchronous executor; see module docstring for round semantics."""
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        advice: Optional[Bits] = None,
+        max_rounds: int = 10_000,
+        paranoid: bool = False,
+        tracer: Optional[Any] = None,
+        advice_map: Optional[Dict[int, Bits]] = None,
+    ):
+        """``advice_map`` gives *per-node* advice (the "informative
+        labeling scheme" regime the paper contrasts with its identical-
+        advice model; see Section 1).  Mutually exclusive with ``advice``.
+        """
+        if advice is not None and advice_map is not None:
+            raise SimulationError(
+                "pass either identical advice or a per-node advice_map, not both"
+            )
+        self._g = graph
+        self._factory = algorithm_factory
+        self._advice = advice
+        self._advice_map = advice_map
+        self._max_rounds = max_rounds
+        self._paranoid = paranoid
+        self._tracer = tracer
+
+    def run(self) -> RunResult:
+        g = self._g
+        algorithms = [self._factory() for _ in g.nodes()]
+        if self._advice_map is not None:
+            contexts = [
+                NodeContext(g.degree(v), self._advice_map.get(v))
+                for v in g.nodes()
+            ]
+        else:
+            contexts = [
+                NodeContext(g.degree(v), self._advice) for v in g.nodes()
+            ]
+
+        for v in g.nodes():
+            algorithms[v].setup(contexts[v])
+
+        per_round_messages: List[int] = []
+        total_messages = 0
+        rounds = 0
+        while any(not contexts[v].has_output for v in g.nodes()):
+            if rounds >= self._max_rounds:
+                stuck = [v for v in g.nodes() if not contexts[v].has_output]
+                raise SimulationError(
+                    f"simulation exceeded max_rounds={self._max_rounds}; "
+                    f"{len(stuck)} nodes never output (first few: {stuck[:5]})"
+                )
+            rounds += 1
+            # phase 1: everyone composes
+            outboxes: List[Dict[int, Any]] = []
+            round_messages = 0
+            for v in g.nodes():
+                out = algorithms[v].compose(contexts[v]) or {}
+                for port, msg in out.items():
+                    if not (0 <= port < g.degree(v)):
+                        raise AlgorithmError(
+                            f"node sent on port {port} but has degree {g.degree(v)}"
+                        )
+                    if self._paranoid:
+                        _check_message(msg)
+                round_messages += len(out)
+                outboxes.append(out)
+            if self._tracer is not None:
+                self._tracer.record_round(rounds, outboxes)  # after all compose
+            # phase 2: simultaneous delivery
+            inboxes: List[List[Optional[Any]]] = [
+                [None] * g.degree(v) for v in g.nodes()
+            ]
+            for u in g.nodes():
+                for port, msg in outboxes[u].items():
+                    v, q = g.neighbor(u, port)
+                    inboxes[v][q] = msg
+            # phase 3: everyone processes
+            for v in g.nodes():
+                contexts[v]._round = rounds
+                algorithms[v].deliver(contexts[v], inboxes[v])
+            total_messages += round_messages
+            per_round_messages.append(round_messages)
+
+        return RunResult(
+            outputs={v: contexts[v].output_value for v in g.nodes()},
+            output_round={v: contexts[v]._output_round for v in g.nodes()},
+            rounds=rounds,
+            total_messages=total_messages,
+            per_round_messages=per_round_messages,
+        )
+
+
+def run_sync(
+    graph: PortGraph,
+    algorithm_factory: Callable[[], NodeAlgorithm],
+    advice: Optional[Bits] = None,
+    max_rounds: int = 10_000,
+    paranoid: bool = False,
+    tracer: Optional[Any] = None,
+    advice_map: Optional[Dict[int, Bits]] = None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`SyncEngine`."""
+    return SyncEngine(
+        graph,
+        algorithm_factory,
+        advice,
+        max_rounds=max_rounds,
+        paranoid=paranoid,
+        tracer=tracer,
+        advice_map=advice_map,
+    ).run()

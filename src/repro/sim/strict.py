@@ -1,0 +1,93 @@
+"""Byte-honest execution: every message crosses the wire as a bitstring.
+
+:class:`WireWrapped` adapts any node algorithm whose messages are COM
+tuples ``(port, View)`` (all the election algorithms in this library):
+outgoing messages are serialized with the view wire format, incoming
+bitstrings are decoded back into interned views before delivery.  Because
+decoding re-interns, the wrapped algorithm sees *the same objects* it
+would have seen in the fast path — the tests demand bit-identical outputs
+— while the engine genuinely only ever transports ``Bits``.
+
+This is the strongest form of the information-boundary guarantee: no
+shared-memory channel exists at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.errors import SimulationError
+from repro.sim.local_model import NodeAlgorithm, NodeContext
+from repro.views.view import View
+from repro.views.wire import decode_view_wire, encode_view_wire
+
+
+def _encode_message(msg: Any) -> Bits:
+    if (
+        isinstance(msg, tuple)
+        and len(msg) == 2
+        and isinstance(msg[0], int)
+        and isinstance(msg[1], View)
+    ):
+        return concat_bits(
+            [encode_uint(0), encode_uint(msg[0]), encode_view_wire(msg[1])]
+        )
+    raise SimulationError(
+        f"strict mode supports COM messages (port, View); got {type(msg).__name__}"
+    )
+
+
+def _decode_message(bits: Bits) -> Any:
+    fields = decode_concat(bits)
+    kind = decode_uint(fields[0])
+    if kind == 0:
+        if len(fields) != 3:
+            raise SimulationError("malformed strict COM message")
+        return (decode_uint(fields[1]), decode_view_wire(fields[2]))
+    raise SimulationError(f"unknown strict message kind {kind}")
+
+
+class WireWrapped:
+    """Wrap a node algorithm so all its traffic is serialized bits."""
+
+    def __init__(self, inner: NodeAlgorithm):
+        self._inner = inner
+        self.bits_sent = 0
+
+    def setup(self, ctx: NodeContext) -> None:
+        self._inner.setup(ctx)
+
+    def compose(self, ctx: NodeContext):
+        out = self._inner.compose(ctx) or {}
+        encoded = {}
+        for port, msg in out.items():
+            wire = _encode_message(msg)
+            self.bits_sent += len(wire)
+            encoded[port] = wire
+        return encoded
+
+    def deliver(self, ctx: NodeContext, inbox: List[Optional[Any]]) -> None:
+        decoded: List[Optional[Any]] = []
+        for msg in inbox:
+            if msg is None:
+                decoded.append(None)
+            elif isinstance(msg, Bits):
+                decoded.append(_decode_message(msg))
+            else:
+                raise SimulationError(
+                    "strict mode received a non-Bits message: the peer is "
+                    "not wire-wrapped"
+                )
+        self._inner.deliver(ctx, decoded)
+
+
+def wire_wrapped(factory: Callable[[], NodeAlgorithm]) -> Callable[[], WireWrapped]:
+    """Factory adapter: ``run_sync(g, wire_wrapped(ElectAlgorithm), ...)``."""
+
+    def make() -> WireWrapped:
+        return WireWrapped(factory())
+
+    return make

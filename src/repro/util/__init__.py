@@ -1,0 +1,24 @@
+"""Small utilities shared across the library: integer logarithms, the tower
+function :math:`{}^{i}c` and :math:`\\log^*` used by Theorems 4.1/4.2, and
+deterministic RNG helpers."""
+
+from repro.util.mathfn import (
+    ceil_log2,
+    floor_log2,
+    ilog_iter,
+    log_star,
+    tower,
+    tower_index,
+)
+from repro.util.rng import make_rng, sample_distinct
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "ilog_iter",
+    "log_star",
+    "tower",
+    "tower_index",
+    "make_rng",
+    "sample_distinct",
+]

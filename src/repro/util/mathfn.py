@@ -1,0 +1,102 @@
+"""Integer-exact math helpers used throughout the reproduction.
+
+The paper's Theorem 4.1 manipulates ``blog phic``, ``blog log phic``,
+``log* phi`` and the tower function ``ic`` (defined by ``0c = 1`` and
+``(i+1)c = c ** (ic)``).  All of these must be computed exactly on integers --
+floating point would silently corrupt the advice for large ``phi`` -- so we
+implement them with integer arithmetic only.
+"""
+
+from __future__ import annotations
+
+
+def floor_log2(x: int) -> int:
+    """Return ``floor(log2(x))`` for a positive integer ``x``, exactly."""
+    if x <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {x}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Return ``ceil(log2(x))`` for a positive integer ``x``, exactly."""
+    if x <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {x}")
+    return (x - 1).bit_length()
+
+
+def ilog_iter(x: int, times: int) -> int:
+    """Apply ``floor_log2`` iteratively ``times`` times to ``x``.
+
+    ``ilog_iter(x, 2)`` is the paper's ``blog log xc``.  Raises ``ValueError``
+    if an intermediate value drops to zero or below (the logarithm would be
+    undefined), mirroring the preconditions of Theorem 4.1.
+    """
+    for _ in range(times):
+        x = floor_log2(x)
+        if x <= 0 and _ < times - 1:
+            raise ValueError("iterated logarithm undefined: value reached <= 0")
+    return x
+
+
+def log_star(x: int, base: int = 2) -> int:
+    """Return ``log*`` of ``x``: the number of times ``log_base`` must be
+    iterated, starting from ``x``, before the value drops to <= 1.
+
+    Uses the integer floor logarithm at each step.  ``log_star(1) == 0``,
+    ``log_star(2) == 1``, ``log_star(4) == 2``, ``log_star(16) == 3``,
+    ``log_star(65536) == 4``.
+    """
+    if x < 1:
+        raise ValueError(f"log_star requires x >= 1, got {x}")
+    if base < 2:
+        raise ValueError(f"log_star requires base >= 2, got {base}")
+    count = 0
+    while x > 1:
+        # floor log base `base`
+        lg = 0
+        y = x
+        while y >= base:
+            y //= base
+            lg += 1
+        x = lg
+        count += 1
+    return count
+
+
+def tower(i: int, c: int) -> int:
+    """The paper's tower notation ``ic``: ``tower(0, c) == 1`` and
+    ``tower(i+1, c) == c ** tower(i, c)``.
+
+    Guarded against astronomically large results: raises ``OverflowError``
+    if the result would exceed 2**20 bits (callers in Theorem 4.1 only ever
+    need small towers because ``P4 = tower(log*(phi)+1, 2) - 1``).
+    """
+    if i < 0:
+        raise ValueError(f"tower requires i >= 0, got {i}")
+    if c < 2:
+        raise ValueError(f"tower requires c >= 2, got {c}")
+    value = 1
+    for _ in range(i):
+        if value > 20:  # c**21 can already be enormous; bound the exponent
+            raise OverflowError(
+                f"tower({i}, {c}) is astronomically large and cannot be "
+                "materialized as an integer round count"
+            )
+        value = c**value
+    return value
+
+
+def tower_index(x: int, c: int = 2) -> int:
+    """Return the smallest ``i`` with ``tower(i, c) >= x`` (inverse tower).
+
+    This is the ``k*`` extraction used in the proof of Theorem 4.2 part 4,
+    where ``2^{k*}c <= alpha < 2^{(k*+1)}c``.
+    """
+    if x < 1:
+        raise ValueError(f"tower_index requires x >= 1, got {x}")
+    i = 0
+    value = 1
+    while value < x:
+        value = c**value
+        i += 1
+    return i

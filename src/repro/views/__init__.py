@@ -1,0 +1,68 @@
+"""Views of nodes in anonymous port-numbered graphs.
+
+The *augmented truncated view* B^l(v) (Yamashita-Kameda, as used throughout
+the paper) is the depth-l unfolding of the graph from v: a port-labeled tree
+whose leaves additionally carry their degrees in the graph.  Two nodes are
+indistinguishable to any deterministic algorithm after l rounds iff their
+augmented truncated views at depth l coincide.
+
+Implementation: views are *hash-consed* — structurally equal views are the
+same Python object, graph-wide and even across graphs.  This turns view
+equality into pointer identity and makes the level-by-level computation the
+classical degree/port refinement, with total cost O(depth * m).
+
+Key entry points:
+
+* :func:`views_of_graph` / :func:`view_levels` — B^l for all nodes;
+* :func:`election_index` / :func:`is_feasible` — the paper's phi(G);
+* :func:`view_compare` / :func:`view_sort_key` — the fixed canonical total
+  order standing in for "lexicographic order of bin(B)" (see DESIGN.md);
+* :func:`encode_b1` — the faithful ``bin(B^1(v))`` encoding of
+  Proposition 3.3 (used by the depth-1 tries);
+* :func:`materialize_pruned_view` — the pruned views PV_G(u, P, l) of
+  Theorem 4.2.
+"""
+
+from repro.views.view import (
+    View,
+    clear_view_caches,
+    explicit_view_tree,
+    truncate_view,
+    view_levels,
+    view_nested_tuple,
+    views_of_graph,
+)
+from repro.views.order import view_compare, view_min, view_sort_key
+from repro.views.encoding import encode_b1
+from repro.views.election_index import (
+    election_index,
+    is_feasible,
+    view_classes,
+    view_partition_trace,
+)
+from repro.views.pruned import materialize_pruned_view
+from repro.views.quotient import ViewQuotient, view_quotient
+from repro.views.wire import decode_view_wire, encode_view_wire
+
+__all__ = [
+    "View",
+    "views_of_graph",
+    "view_levels",
+    "truncate_view",
+    "explicit_view_tree",
+    "view_nested_tuple",
+    "clear_view_caches",
+    "view_compare",
+    "view_sort_key",
+    "view_min",
+    "encode_b1",
+    "election_index",
+    "is_feasible",
+    "view_classes",
+    "view_partition_trace",
+    "materialize_pruned_view",
+    "ViewQuotient",
+    "view_quotient",
+    "encode_view_wire",
+    "decode_view_wire",
+]

@@ -1,0 +1,92 @@
+"""Election index and feasibility (Proposition 2.1 and the Yamashita-Kameda
+criterion).
+
+The election index phi(G) of a feasible graph is the smallest l such that
+the augmented truncated views at depth l of all nodes are distinct
+(Proposition 2.1).  A graph is *feasible* iff such an l exists, iff the
+infinite views of all nodes are distinct.
+
+Algorithm: compute view levels (the degree/port refinement).  The induced
+node partition refines monotonically with depth; as soon as two consecutive
+levels induce the same partition, no further level refines it (the level-l+1
+class of a node is a function of its degree and its neighbors' level-l
+classes).  So:
+
+* if the partition becomes discrete (n classes) at level l, phi = l;
+* if it stabilizes before becoming discrete, the graph is infeasible.
+
+Total cost O(phi * m) plus interning overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import InfeasibleGraphError
+from repro.graphs.port_graph import PortGraph
+from repro.views.view import View, view_levels
+
+
+def _partition_signature(level: List[View]) -> Tuple[int, ...]:
+    """Class id per node, classes numbered by first occurrence."""
+    class_of: Dict[View, int] = {}
+    sig = []
+    for v in level:
+        if v not in class_of:
+            class_of[v] = len(class_of)
+        sig.append(class_of[v])
+    return tuple(sig)
+
+
+def view_partition_trace(
+    g: PortGraph, max_depth: int = None
+) -> List[Tuple[int, int]]:
+    """``[(depth, num_classes), ...]`` until the partition stabilizes or
+    becomes discrete (whichever first), capped at ``max_depth`` levels."""
+    trace: List[Tuple[int, int]] = []
+    prev_sig = None
+    for depth, level in enumerate(view_levels(g, max_depth=max_depth)):
+        sig = _partition_signature(level)
+        trace.append((depth, len(set(sig))))
+        if len(set(sig)) == g.n or sig == prev_sig:
+            break
+        prev_sig = sig
+    return trace
+
+
+def election_index(g: PortGraph) -> int:
+    """phi(G): minimum depth at which all augmented truncated views are
+    distinct.  Raises :class:`InfeasibleGraphError` for infeasible graphs."""
+    prev_sig = None
+    for depth, level in enumerate(view_levels(g)):
+        sig = _partition_signature(level)
+        num_classes = len(set(sig))
+        if num_classes == g.n:
+            return depth
+        if sig == prev_sig:
+            raise InfeasibleGraphError(
+                f"graph is infeasible: the view partition stabilizes at depth "
+                f"{depth - 1} with {num_classes} < n = {g.n} classes"
+            )
+        prev_sig = sig
+    raise AssertionError("unreachable")
+
+
+def is_feasible(g: PortGraph) -> bool:
+    """Whether deterministic leader election is possible in ``g`` given the
+    map (all infinite views distinct)."""
+    try:
+        election_index(g)
+        return True
+    except InfeasibleGraphError:
+        return False
+
+
+def view_classes(g: PortGraph, depth: int) -> Dict[View, List[int]]:
+    """Group nodes by their depth-``depth`` view: {view: [nodes...]}."""
+    from repro.views.view import views_of_graph
+
+    groups: Dict[View, List[int]] = {}
+    for node, view in enumerate(views_of_graph(g, depth)):
+        groups.setdefault(view, []).append(node)
+    return groups

@@ -1,0 +1,82 @@
+"""The canonical total order on views.
+
+The paper orders augmented truncated views by the lexicographic order of
+their binary encodings ``bin(B)``.  Expanding ``bin(B^d)`` is exponential
+in d, so (as recorded in DESIGN.md) we use the equivalent device: a fixed,
+recursively defined total order on interned views, computable in O(1)
+amortized per comparison via memoization.  Every proof in the paper uses
+only that the order is total, fixed, and computable identically by the
+oracle and by every node — properties this order has.
+
+Order definition (lexicographic on the canonical flattening):
+``v < w`` iff ``(v.depth, v.degree, children)`` precedes
+``(w.depth, w.degree, children)`` where children are compared pairwise in
+port order, each as ``(remote_port, child_view)`` with the child compared
+recursively.  Views of unequal depth never mix in algorithm-relevant
+comparisons; depth participates only to make the order total.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Tuple
+
+from repro.views.view import View
+
+_COMPARE_CACHE: Dict[Tuple[int, int], int] = {}
+
+
+def view_compare(a: View, b: View) -> int:
+    """Three-way comparison: -1, 0, +1 for a < b, a == b, a > b."""
+    if a is b:
+        return 0
+    key = (id(a), id(b))
+    found = _COMPARE_CACHE.get(key)
+    if found is not None:
+        return found
+    if a.depth != b.depth:
+        result = -1 if a.depth < b.depth else 1
+    elif a.degree != b.degree:
+        result = -1 if a.degree < b.degree else 1
+    else:
+        result = 0
+        for (qa, ca), (qb, cb) in zip(a.children, b.children):
+            if qa != qb:
+                result = -1 if qa < qb else 1
+                break
+            sub = view_compare(ca, cb)
+            if sub != 0:
+                result = sub
+                break
+        # equal-length children with all components equal would mean the
+        # interned objects are identical, handled by `a is b` above
+        if result == 0:
+            raise AssertionError(
+                "distinct interned views compared equal: interning is broken"
+            )
+    _COMPARE_CACHE[key] = result
+    _COMPARE_CACHE[(id(b), id(a))] = -result
+    return result
+
+
+view_sort_key = functools.cmp_to_key(view_compare)
+"""Key function for ``sorted``/``min``/``max`` over views."""
+
+
+def view_min(views: Iterable[View]) -> View:
+    """The canonically smallest view (the paper's "lexicographically
+    smallest augmented truncated view")."""
+    it = iter(views)
+    try:
+        best = next(it)
+    except StopIteration:
+        raise ValueError("view_min of an empty collection")
+    for v in it:
+        if view_compare(v, best) < 0:
+            best = v
+    return best
+
+
+def sort_views(views: Iterable[View]) -> List[View]:
+    """Views sorted ascending in the canonical order."""
+    return sorted(views, key=view_sort_key)

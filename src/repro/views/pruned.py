@@ -1,0 +1,130 @@
+"""Pruned views PV_G(u, {p_1..p_t}, l) — Theorem 4.2's building block.
+
+Unlike the truncated view, the pruned view has no repeated port numbers at
+any node (the root omits the excluded ports; every other node omits the
+port leading back to its parent), so it is itself a legal port-numbered
+tree and can be spliced into graphs under construction.  The merge
+operation of Theorem 4.2 replaces a subgraph hanging off an articulation
+node by the pruned view of that node; Claim 4.2 (machine-verified in the
+tests) says this preserves the augmented truncated view of the node to
+depth l-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.errors import GraphStructureError
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+
+
+@dataclass
+class PrunedViewResult:
+    """Outcome of materializing a pruned view into a builder.
+
+    Attributes
+    ----------
+    root:
+        Builder node standing for ``u`` (carries ``u``'s non-excluded ports).
+    leaves:
+        Builder nodes at exactly depth ``l``, in the deterministic DFS order
+        (by port at each branching), each with its single parent port — the
+        attachment points for the cliques of the T(L) transformation.
+    leaf_parent_ports:
+        For each leaf, the port number it uses toward its parent (the leaf's
+        only assigned port so far).
+    source_of:
+        Map from builder node to the original graph node it replicates.
+    """
+
+    root: int
+    leaves: List[int]
+    leaf_parent_ports: List[int]
+    source_of: Dict[int, int]
+
+
+def materialize_pruned_view(
+    builder: PortGraphBuilder,
+    g: PortGraph,
+    u: int,
+    excluded_ports: Sequence[int],
+    depth: int,
+    root: Optional[int] = None,
+) -> PrunedViewResult:
+    """Write PV_g(u, excluded_ports, depth) into ``builder`` as fresh nodes.
+
+    The root replicates ``u``'s ports *except* the excluded ones (keeping
+    the original port numbers, so the caller can re-attach other structure
+    on the excluded ports).  Interior nodes replicate the full port
+    numbering of the graph node they copy; depth-``depth`` leaves carry only
+    their parent port.
+
+    If ``root`` is given, the pruned view is grafted onto that *existing*
+    builder node instead of a fresh one (the merge operation's "identify u
+    with the root of this pruned view"); the non-excluded port numbers must
+    still be free there.
+    """
+    if depth < 1:
+        raise GraphStructureError(f"pruned view depth must be >= 1, got {depth}")
+    excluded: FrozenSet[int] = frozenset(excluded_ports)
+    for p in excluded:
+        if not (0 <= p < g.degree(u)):
+            raise GraphStructureError(
+                f"excluded port {p} does not exist at node {u} (degree {g.degree(u)})"
+            )
+    if len(excluded) >= g.degree(u):
+        raise GraphStructureError(
+            "pruned view requires at least one non-excluded port at the root"
+        )
+
+    if root is None:
+        root = builder.add_node()
+    source_of: Dict[int, int] = {root: u}
+    leaves: List[int] = []
+    leaf_parent_ports: List[int] = []
+
+    # frontier entries: (builder_node, graph_node, port_back_to_parent or None)
+    frontier: List[Tuple[int, int, int]] = []
+    for p in range(g.degree(u)):
+        if p in excluded:
+            continue
+        v, q = g.neighbor(u, p)
+        child = builder.add_node()
+        source_of[child] = v
+        builder.add_edge(root, p, child, q)
+        frontier.append((child, v, q))
+
+    for level in range(2, depth + 1):
+        next_frontier: List[Tuple[int, int, int]] = []
+        for (bnode, gnode, back_port) in frontier:
+            if g.degree(gnode) == 1:
+                # Property 3 of Theorem 4.2 (all node degrees >= 2) is what
+                # guarantees every branch extends to full depth (Claim 4.3);
+                # a degree-1 interior node would leave a dangling stub with a
+                # possibly non-contiguous port, so we reject it loudly.
+                raise GraphStructureError(
+                    f"graph node {gnode} has degree 1 at pruned-view level "
+                    f"{level - 1}; pruned views require minimum degree 2 "
+                    "below the root (Theorem 4.2, property 3)"
+                )
+            for p in range(g.degree(gnode)):
+                if p == back_port:
+                    continue
+                v, q = g.neighbor(gnode, p)
+                child = builder.add_node()
+                source_of[child] = v
+                builder.add_edge(bnode, p, child, q)
+                next_frontier.append((child, v, q))
+        frontier = next_frontier
+
+    for (bnode, _gnode, back_port) in frontier:
+        leaves.append(bnode)
+        leaf_parent_ports.append(back_port)
+
+    return PrunedViewResult(
+        root=root,
+        leaves=leaves,
+        leaf_parent_ports=leaf_parent_ports,
+        source_of=source_of,
+    )

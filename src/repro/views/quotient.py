@@ -1,0 +1,119 @@
+"""The view quotient: what symmetry remains in an infeasible graph.
+
+Yamashita-Kameda: two nodes have the same infinite view iff they fall in
+the same class of the stabilized degree/port refinement.  The *quotient*
+collapses each class to one vertex, keeping the port structure: it is the
+minimum base of the graph's universal cover, and the graph is feasible
+iff its quotient is the graph itself (all classes singletons).
+
+Useful both as a diagnostic ("why can't this network elect?") and as a
+compression: every anonymous algorithm behaves identically on a graph and
+on any of its lifts, so experiments on symmetric topologies only need the
+quotient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graphs.port_graph import PortGraph
+from repro.views.view import View, view_levels
+
+
+@dataclass
+class ViewQuotient:
+    """The stabilized view partition with its port structure.
+
+    Attributes
+    ----------
+    class_of:
+        For each node, its class index (0-based, by first occurrence).
+    classes:
+        For each class, the sorted list of member nodes.
+    transitions:
+        For each class c and local port p (ports are well-defined per
+        class: members share degree), the pair
+        ``(remote_port, target_class)``.
+    stabilization_depth:
+        The depth at which the refinement stabilized.
+    """
+
+    class_of: List[int]
+    classes: List[List[int]]
+    transitions: List[List[Tuple[int, int]]]
+    stabilization_depth: int
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def is_discrete(self) -> bool:
+        """True iff every class is a singleton — i.e. the graph is feasible."""
+        return all(len(c) == 1 for c in self.classes)
+
+    def lift_multiplicity(self) -> List[int]:
+        """Size of each class — how many indistinguishable copies of each
+        quotient vertex the graph contains."""
+        return [len(c) for c in self.classes]
+
+
+def view_quotient(g: PortGraph) -> ViewQuotient:
+    """Compute the stabilized view partition and its quotient structure."""
+    prev_sig = None
+    depth = 0
+    level: List[View] = []
+    for depth, level in enumerate(view_levels(g)):
+        sig = _signature(level)
+        if sig == prev_sig or len(set(sig)) == g.n:
+            break
+        prev_sig = sig
+
+    class_of_view: Dict[View, int] = {}
+    class_of: List[int] = []
+    classes: List[List[int]] = []
+    for v, view in enumerate(level):
+        if view not in class_of_view:
+            class_of_view[view] = len(classes)
+            classes.append([])
+        idx = class_of_view[view]
+        class_of.append(idx)
+        classes[idx].append(v)
+
+    transitions: List[List[Tuple[int, int]]] = []
+    for members in classes:
+        rep = members[0]
+        row: List[Tuple[int, int]] = []
+        for p in range(g.degree(rep)):
+            u, q = g.neighbor(rep, p)
+            row.append((q, class_of[u]))
+        transitions.append(row)
+    # well-definedness: every member must induce the same transition row
+    for idx, members in enumerate(classes):
+        for v in members[1:]:
+            row = [
+                (q, class_of[u])
+                for p in range(g.degree(v))
+                for (u, q) in [g.neighbor(v, p)]
+            ]
+            if row != transitions[idx]:
+                raise AssertionError(
+                    "stabilized partition is not equitable: refinement bug"
+                )
+    return ViewQuotient(
+        class_of=class_of,
+        classes=classes,
+        transitions=transitions,
+        stabilization_depth=depth,
+    )
+
+
+def _signature(level: List[View]) -> Tuple[int, ...]:
+    seen: Dict[View, int] = {}
+    out = []
+    for v in level:
+        if v not in seen:
+            seen[v] = len(seen)
+        out.append(seen[v])
+    return tuple(out)

@@ -1,0 +1,67 @@
+"""Human-readable renderings of views and port graphs.
+
+Debugging anonymous-network algorithms is an exercise in staring at
+views; these helpers make that bearable:
+
+* :func:`render_view` — indented ASCII tree of an augmented truncated
+  view (ports annotated, shared subviews marked);
+* :func:`render_graph` — adjacency listing with port pairs;
+* :func:`graph_to_dot` — Graphviz DOT with both port numbers on every
+  edge (taillabel/headlabel), for external rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graphs.port_graph import PortGraph
+from repro.views.view import View
+
+
+def render_view(
+    view: View, max_depth: Optional[int] = None, _indent: str = "", _port: str = ""
+) -> str:
+    """Indented ASCII rendering of a view.
+
+    Each line shows ``(local_port->remote_port) deg=<degree>``; depth is
+    capped at ``max_depth`` (default: full view).  Because deep views are
+    exponential as trees, always cap when rendering depth > ~4.
+    """
+    lines: List[str] = []
+
+    def walk(v: View, indent: str, edge: str, budget: Optional[int]) -> None:
+        lines.append(f"{indent}{edge}deg={v.degree}")
+        if budget is not None and budget <= 0:
+            if v.children:
+                lines.append(f"{indent}  ...")
+            return
+        for p, (q, child) in enumerate(v.children):
+            walk(
+                child,
+                indent + "  ",
+                f"({p}->{q}) ",
+                None if budget is None else budget - 1,
+            )
+
+    walk(view, _indent, _port, max_depth)
+    return "\n".join(lines)
+
+
+def render_graph(g: PortGraph) -> str:
+    """Adjacency listing: one line per node with ``port->neighbor(back)``."""
+    lines = [f"PortGraph: n={g.n}, m={g.num_edges}"]
+    for v in g.nodes():
+        entries = ", ".join(
+            f"{p}->{u}({q})" for p, (u, q) in enumerate(g.ports(v))
+        )
+        lines.append(f"  {v} [deg {g.degree(v)}]: {entries}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(g: PortGraph, name: str = "G") -> str:
+    """Graphviz DOT with port numbers as tail/head labels."""
+    lines = [f"graph {name} {{", "  node [shape=circle];"]
+    for (u, p, v, q) in g.edges():
+        lines.append(f'  {u} -- {v} [taillabel="{p}", headlabel="{q}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""Hash-consed augmented truncated views.
+
+A :class:`View` of depth 0 is ``(degree, ())`` — just the degree, exactly
+the paper's B^0 ("leaves labeled by their degrees" collapses to the degree
+of the node itself at depth 0).  A view of depth l+1 is
+``(degree, ((q_0, child_0), ..., (q_{d-1}, child_{d-1})))`` where the tuple
+is indexed by the local port, ``q_i`` is the remote port of that edge, and
+``child_i`` is the neighbor's view of depth l.  This is precisely the
+inductive definition of V^{l+1} in Section 1 plus the leaf-degree
+augmentation: a straightforward induction (unit-tested against the explicit
+tree expansion in :func:`explicit_view_tree`) shows that two nodes have
+equal B^l iff their depth-l View objects are identical.
+
+Interning is global (a strong table; call :func:`clear_view_caches` to
+release memory between experiment batches).  Global interning is a feature:
+the lower-bound proofs compare views *across different graphs* (fooling
+pairs), which here is again pointer equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.port_graph import PortGraph
+
+_INTERN: Dict[tuple, "View"] = {}
+_TRUNCATE_CACHE: Dict[Tuple[int, int], "View"] = {}
+
+
+class View:
+    """An interned augmented truncated view.  Do not construct directly;
+    use :meth:`View.make`."""
+
+    __slots__ = ("degree", "children", "depth")
+
+    degree: int
+    children: Tuple[Tuple[int, "View"], ...]
+    depth: int
+
+    def __new__(cls, *args, **kwargs):
+        raise TypeError("View instances must be created through View.make")
+
+    @staticmethod
+    def make(degree: int, children: Tuple[Tuple[int, "View"], ...]) -> "View":
+        """Intern-constructor.
+
+        ``children`` must be empty (depth-0 view) or have exactly ``degree``
+        entries, one per local port in order, each ``(remote_port, child)``
+        with all children at equal depth.
+        """
+        key = (degree, children)
+        found = _INTERN.get(key)
+        if found is not None:
+            return found
+        if children:
+            if len(children) != degree:
+                raise ValueError(
+                    f"view of degree {degree} must have {degree} children, "
+                    f"got {len(children)}"
+                )
+            child_depth = children[0][1].depth
+            for _, child in children:
+                if child.depth != child_depth:
+                    raise ValueError("all children of a view must share a depth")
+            depth = child_depth + 1
+        else:
+            depth = 0
+        self = object.__new__(View)
+        object.__setattr__(self, "degree", degree)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "depth", depth)
+        _INTERN[key] = self
+        return self
+
+    def __setattr__(self, name, value):  # views are immutable
+        raise AttributeError("View objects are immutable")
+
+    # identity semantics: interning makes structural equality == identity
+    def __eq__(self, other):
+        return self is other
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"View(depth={self.depth}, degree={self.degree})"
+
+    # ------------------------------------------------------------------
+    def child(self, port: int) -> "View":
+        """Depth-(l-1) view of the neighbor through local ``port``."""
+        return self.children[port][1]
+
+    def remote_port(self, port: int) -> int:
+        """Port number at the far end of the edge through local ``port``."""
+        return self.children[port][0]
+
+    def tree_size(self) -> int:
+        """Number of nodes of the *expanded* view tree (can be exponential
+        in depth; use for diagnostics on small views only)."""
+        if not self.children:
+            return 1
+        return 1 + sum(child.tree_size() for _, child in self.children)
+
+
+# ----------------------------------------------------------------------
+# computing views of a graph
+# ----------------------------------------------------------------------
+def view_levels(
+    g: PortGraph, max_depth: Optional[int] = None
+) -> Iterator[List[View]]:
+    """Yield, for depth l = 0, 1, 2, ..., the list ``[B^l(v) for v in
+    g.nodes()]``.  Stops after ``max_depth`` levels if given, otherwise
+    iterates forever (callers break on their own condition, e.g. partition
+    stabilization)."""
+    current: List[View] = [View.make(g.degree(v), ()) for v in g.nodes()]
+    depth = 0
+    yield current
+    while max_depth is None or depth < max_depth:
+        nxt: List[View] = []
+        for v in g.nodes():
+            children = tuple(
+                (q, current[u]) for (u, q) in g.ports(v)
+            )
+            nxt.append(View.make(g.degree(v), children))
+        current = nxt
+        depth += 1
+        yield current
+
+
+def views_of_graph(g: PortGraph, depth: int) -> List[View]:
+    """``[B^depth(v) for v in g.nodes()]``."""
+    if depth < 0:
+        raise ValueError(f"view depth must be >= 0, got {depth}")
+    for d, level in enumerate(view_levels(g, max_depth=depth)):
+        if d == depth:
+            return level
+    raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+# truncation
+# ----------------------------------------------------------------------
+def truncate_view(view: View, depth: int) -> View:
+    """B^l(v) -> B^depth(v): the truncation of a view to a smaller depth.
+
+    O(distinct subviews) with global memoization; raises ``ValueError``
+    if ``depth > view.depth`` (a view cannot be extended, only cut).
+    """
+    if depth > view.depth:
+        raise ValueError(
+            f"cannot truncate a depth-{view.depth} view to larger depth {depth}"
+        )
+    if depth == view.depth:
+        return view
+    key = (id(view), depth)
+    found = _TRUNCATE_CACHE.get(key)
+    if found is not None:
+        return found
+    if depth == 0:
+        result = View.make(view.degree, ())
+    else:
+        children = tuple(
+            (q, truncate_view(child, depth - 1)) for q, child in view.children
+        )
+        result = View.make(view.degree, children)
+    _TRUNCATE_CACHE[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# explicit expansion (cross-validation & small-case debugging)
+# ----------------------------------------------------------------------
+def explicit_view_tree(g: PortGraph, v: int, depth: int) -> tuple:
+    """Directly-recursive (non-interned) construction of B^depth(v) as a
+    nested tuple ``(degree, ((remote_port, subtree), ...))``.
+
+    Exponential in depth — this exists to cross-validate the interned
+    construction in tests and must only be used on small instances.
+    """
+    if depth == 0:
+        return (g.degree(v), ())
+    children = tuple(
+        (q, explicit_view_tree(g, u, depth - 1)) for (u, q) in g.ports(v)
+    )
+    return (g.degree(v), children)
+
+
+def view_nested_tuple(view: View) -> tuple:
+    """Expand an interned view into the nested-tuple form of
+    :func:`explicit_view_tree` (exponential; small views only)."""
+    return (
+        view.degree,
+        tuple((q, view_nested_tuple(child)) for q, child in view.children),
+    )
+
+
+# ----------------------------------------------------------------------
+def clear_view_caches() -> None:
+    """Drop the global intern and truncation tables (and the order caches,
+    which key on view identity).  Existing View objects remain valid but
+    newly built structurally-equal views will be fresh objects — so never
+    mix views from before and after a clear."""
+    from repro.views import encoding as _encoding
+    from repro.views import order as _order
+
+    _INTERN.clear()
+    _TRUNCATE_CACHE.clear()
+    _order._COMPARE_CACHE.clear()
+    _encoding._B1_CACHE.clear()
+
+
+def intern_table_size() -> int:
+    """Number of distinct views currently interned (diagnostics)."""
+    return len(_INTERN)

@@ -1,0 +1,82 @@
+"""Wire format for views: succinct binary serialization of view DAGs.
+
+The LOCAL model allows arbitrary messages, and our COM implementation
+ships interned ``View`` objects — which is faithful information-wise but
+leans on shared process memory.  This module closes the loop: views can
+be serialized to actual bitstrings and decoded back *into the intern
+table*, so a fully byte-honest execution (``repro.sim.strict``) produces
+the same objects and therefore bit-identical behaviour.
+
+Encoding: the DAG's distinct subviews in a canonical bottom-up order
+(children before parents); each record is either a depth-0 view
+``(deg,)`` or ``(deg, (q_i, ref_i)_i)`` with back-references into the
+record list.  Size is Theta(sum over records of (1 + deg) * log) — the
+succinct-view cost that :mod:`repro.sim.trace` charges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coding.bitstring import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.errors import CodingError
+from repro.views.view import View
+
+
+def encode_view_wire(view: View) -> Bits:
+    """Serialize a view's DAG; inverse of :func:`decode_view_wire`."""
+    order: List[View] = []
+    index: Dict[View, int] = {}
+
+    def visit(v: View) -> None:
+        if v in index:
+            return
+        for _, child in v.children:
+            visit(child)
+        index[v] = len(order)
+        order.append(v)
+
+    visit(view)
+    records: List[Bits] = []
+    for v in order:
+        fields = [encode_uint(v.degree)]
+        for q, child in v.children:
+            fields.append(encode_uint(q))
+            fields.append(encode_uint(index[child]))
+        records.append(concat_bits(fields))
+    return concat_bits(records)
+
+
+def decode_view_wire(bits: Bits) -> View:
+    """Decode a wire-format view back into the (global) intern table:
+    decoding a view equal to a locally computed one yields the *same*
+    object."""
+    records = decode_concat(bits)
+    if not records:
+        raise CodingError("empty view wire format")
+    decoded: List[View] = []
+    for record in records:
+        fields = decode_concat(record)
+        if not fields:
+            raise CodingError("empty view record")
+        degree = decode_uint(fields[0])
+        rest = fields[1:]
+        if len(rest) % 2 != 0:
+            raise CodingError("view record must alternate port/ref fields")
+        if rest and len(rest) // 2 != degree:
+            raise CodingError(
+                f"view record of degree {degree} carries {len(rest) // 2} children"
+            )
+        children = []
+        for i in range(0, len(rest), 2):
+            q = decode_uint(rest[i])
+            ref = decode_uint(rest[i + 1])
+            if ref >= len(decoded):
+                raise CodingError(
+                    f"forward reference {ref} in view record {len(decoded)}"
+                )
+            children.append((q, decoded[ref]))
+        decoded.append(View.make(degree, tuple(children)))
+    return decoded[-1]

@@ -1,0 +1,54 @@
+"""Shared fixtures and corpus helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    PortGraphBuilder,
+    cycle_with_leader_gadget,
+    lollipop,
+    random_connected_graph,
+)
+from repro.views import is_feasible
+
+
+def feasible_corpus(max_n: int = 30):
+    """A list of (name, graph) pairs of small feasible graphs covering
+    different shapes: pendant rings, lollipops, random sparse/dense."""
+    corpus = [
+        ("pendant-ring-5", cycle_with_leader_gadget(5)),
+        ("pendant-ring-8", cycle_with_leader_gadget(8)),
+        ("lollipop-4-3", lollipop(4, 3)),
+        ("lollipop-5-2", lollipop(5, 2)),
+    ]
+    for n, extra, seed in ((8, 4, 11), (12, 8, 12), (16, 5, 13), (20, 14, 14)):
+        if n <= max_n:
+            g = random_connected_graph(n, extra_edges=extra, seed=seed)
+            if is_feasible(g):
+                corpus.append((f"random-{n}-{seed}", g))
+    return corpus
+
+
+def feasible_tree(kind: str = "caterpillar"):
+    """A small feasible (asymmetric) tree."""
+    b = PortGraphBuilder(8)
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (1, 5), (2, 6), (6, 7)]
+    for u, v in edges:
+        b.add_edge_auto(u, v)
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return feasible_corpus()
+
+
+@pytest.fixture()
+def gadget6():
+    return cycle_with_leader_gadget(6)
+
+
+@pytest.fixture()
+def tree8():
+    return feasible_tree()

@@ -1,0 +1,102 @@
+"""Failure injection: corrupted advice must never produce a silently
+wrong election.
+
+For every corruption we accept exactly three outcomes:
+1. a library error (CodingError/AdviceError/... — detected corruption),
+2. the verifier rejects the outputs (ElectionFailure),
+3. the election still succeeds *and matches the uncorrupted leader set
+   validity* (e.g. the flipped bit was in a part that only shifts labels).
+
+Anything else — a crash with a non-library exception, or a verified
+election with non-converging paths — is a bug.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coding import Bits
+from repro.core import compute_advice, verify_election
+from repro.core.elect import ElectAlgorithm
+from repro.errors import ElectionFailure, ReproError
+from repro.graphs import cycle_with_leader_gadget
+from repro.sim import run_sync
+
+G = cycle_with_leader_gadget(6)
+BUNDLE = compute_advice(G)
+
+
+def _flip(bits: Bits, position: int) -> Bits:
+    s = bits.as_str()
+    flipped = "1" if s[position] == "0" else "0"
+    return Bits(s[:position] + flipped + s[position + 1 :])
+
+
+class TestBitFlips:
+    @given(st.integers(min_value=0, max_value=len(BUNDLE.bits) - 1))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_single_flip_never_silently_wrong(self, position):
+        corrupted = _flip(BUNDLE.bits, position)
+        try:
+            result = run_sync(
+                G, ElectAlgorithm, advice=corrupted, max_rounds=BUNDLE.phi + 2
+            )
+        except ReproError:
+            return  # detected: fine
+        except RecursionError:
+            pytest.fail("corruption caused unbounded recursion")
+        try:
+            outcome = verify_election(G, result.outputs)
+        except ElectionFailure:
+            return  # rejected by the verifier: fine
+        # survived: must be a genuinely valid election
+        assert outcome.leader in range(G.n)
+
+    @given(
+        st.integers(min_value=0, max_value=len(BUNDLE.bits) - 2),
+        st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_truncation_never_silently_wrong(self, start, length):
+        """Same contract as bit flips: detected, rejected, or — rarely —
+        the mutilated string happens to be working advice (legal: the
+        spec accepts any advice under which paths converge)."""
+        s = BUNDLE.bits.as_str()
+        cut = s[:start] + s[start + length :]
+        try:
+            result = run_sync(
+                G, ElectAlgorithm, advice=Bits(cut), max_rounds=BUNDLE.phi + 2
+            )
+        except ReproError:
+            return
+        try:
+            outcome = verify_election(G, result.outputs)
+        except ElectionFailure:
+            return
+        assert outcome.leader in range(G.n)
+
+    def test_empty_advice_detected(self):
+        with pytest.raises(ReproError):
+            run_sync(G, ElectAlgorithm, advice=Bits(""), max_rounds=5)
+
+    def test_advice_for_other_graph_not_silently_wrong(self):
+        """Advice computed for a different network: the run must either be
+        detected, be rejected by the verifier, or happen to constitute a
+        *valid* election (legal: the spec accepts any advice that makes
+        all paths converge) — never an unverified wrong answer."""
+        other = cycle_with_leader_gadget(9)
+        other_bundle = compute_advice(other)
+        try:
+            result = run_sync(
+                G, ElectAlgorithm, advice=other_bundle.bits,
+                max_rounds=other_bundle.phi + 2,
+            )
+        except ReproError:
+            return
+        try:
+            outcome = verify_election(G, result.outputs)
+        except ElectionFailure:
+            return
+        assert outcome.leader in range(G.n)

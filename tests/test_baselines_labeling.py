@@ -1,0 +1,61 @@
+"""The informative-labeling contrast: per-node advice elects anything in
+zero rounds — even infeasible graphs."""
+
+import pytest
+
+from repro.baselines import labeling_advice_map, run_labeling_scheme
+from repro.errors import AdviceError, SimulationError
+from repro.graphs import clique, cycle_with_leader_gadget, hypercube, ring
+from repro.views import is_feasible
+
+
+class TestLabelingScheme:
+    def test_zero_rounds_on_feasible(self):
+        rec = run_labeling_scheme(cycle_with_leader_gadget(8), leader=3)
+        assert rec.election_time == 0
+        assert rec.leader == 3
+
+    @pytest.mark.parametrize(
+        "g", [ring(7), clique(5), hypercube(3)], ids=["ring", "clique", "cube"]
+    )
+    def test_elects_infeasible_graphs(self, g):
+        """THE contrast: these graphs cannot elect with any identical
+        advice, but per-node advice breaks the symmetry externally."""
+        assert not is_feasible(g)
+        rec = run_labeling_scheme(g, leader=0)
+        assert rec.election_time == 0
+
+    def test_any_leader_choosable(self):
+        g = ring(6)
+        for leader in range(6):
+            assert run_labeling_scheme(g, leader=leader).leader == leader
+
+    def test_advice_size_d_log(self):
+        import math
+
+        g = ring(16)  # D = 8
+        rec = run_labeling_scheme(g)
+        # path of <= D pairs, each port < 2: O(D) bits here
+        assert rec.max_advice_bits <= 8 * 2 * (math.log2(2) + 4)
+
+    def test_leader_gets_empty_advice(self):
+        advice = labeling_advice_map(ring(5), leader=2)
+        assert len(advice[2]) == 0
+
+    def test_invalid_leader_rejected(self):
+        with pytest.raises(AdviceError):
+            labeling_advice_map(ring(5), leader=9)
+
+    def test_advice_and_map_mutually_exclusive(self):
+        from repro.coding import Bits
+        from repro.baselines.labeling_scheme import LabelingSchemeAlgorithm
+        from repro.sim import SyncEngine
+
+        g = ring(5)
+        with pytest.raises(SimulationError):
+            SyncEngine(
+                g,
+                LabelingSchemeAlgorithm,
+                advice=Bits("1"),
+                advice_map=labeling_advice_map(g),
+            )

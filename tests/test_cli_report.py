@@ -1,0 +1,103 @@
+"""CLI and report generator tests."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+from repro.errors import ReproError
+
+
+class TestSpecParser:
+    def test_positional(self):
+        g = parse_graph_spec("ring:8")
+        assert g.n == 8
+
+    def test_multiple_positional(self):
+        g = parse_graph_spec("necklace:5,3")
+        assert g.n == 36
+
+    def test_keyword(self):
+        g = parse_graph_spec("random:10,extra_edges=4,seed=2")
+        assert g.n == 10
+        assert g.num_edges == 13
+
+    def test_no_args(self):
+        with pytest.raises(TypeError):
+            parse_graph_spec("ring")  # ring requires n
+
+    def test_unknown_generator(self):
+        with pytest.raises(ReproError):
+            parse_graph_spec("mystery:4")
+
+    def test_json_file(self, tmp_path):
+        from repro.graphs import lollipop, to_json
+
+        path = tmp_path / "g.json"
+        path.write_text(to_json(lollipop(4, 2)))
+        g = parse_graph_spec(f"@{path}")
+        assert g.n == 6
+
+    def test_whitespace_tolerant(self):
+        g = parse_graph_spec("necklace: 4, 2")
+        assert g.n == 27
+
+
+class TestCommands:
+    def test_index_feasible(self, capsys):
+        assert main(["index", "necklace:4,2"]) == 0
+        out = capsys.readouterr().out
+        assert "phi = 2" in out
+
+    def test_index_infeasible(self, capsys):
+        assert main(["index", "ring:6"]) == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_elect(self, capsys):
+        assert main(["elect", "gadget-ring:6"]) == 0
+        out = capsys.readouterr().out
+        assert "advice" in out and "elected node" in out
+
+    def test_spectrum(self, capsys):
+        assert main(["spectrum", "necklace:4,2"]) == 0
+        out = capsys.readouterr().out
+        assert "phi (minimum)" in out and "D+c^phi" in out
+
+    def test_quotient_symmetric(self, capsys):
+        assert main(["quotient", "hypercube:3"]) == 0
+        out = capsys.readouterr().out
+        assert "8 indistinguishable" in out
+
+    def test_quotient_feasible(self, capsys):
+        assert main(["quotient", "lollipop:4,2"]) == 0
+        assert "discrete" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["index", "mystery:1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# repro experiment report" in text
+        assert "Theorem 3.1" in text
+        assert "Open question" in text
+
+
+class TestReportContent:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.analysis.report import generate_report
+
+        return generate_report()
+
+    def test_has_all_sections(self, report):
+        for heading in (
+            "Theorem 3.1",
+            "Headline spectrum",
+            "Lower bounds",
+            "Open question",
+        ):
+            assert heading in report
+
+    def test_markdown_tables_present(self, report):
+        assert report.count("|---") >= 5

@@ -1,0 +1,42 @@
+"""Integer code tests: canonical binary, round trips, rejection cases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import Bits, decode_uint, encode_uint
+from repro.errors import CodingError
+
+
+class TestEncodeUint:
+    def test_zero(self):
+        assert encode_uint(0) == Bits("0")
+
+    def test_small_values(self):
+        assert encode_uint(1) == Bits("1")
+        assert encode_uint(2) == Bits("10")
+        assert encode_uint(10) == Bits("1010")
+
+    def test_rejects_negative(self):
+        with pytest.raises(CodingError):
+            encode_uint(-1)
+
+    def test_length_is_log(self):
+        assert len(encode_uint(2**20)) == 21
+
+
+class TestDecodeUint:
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_round_trip(self, x):
+        assert decode_uint(encode_uint(x)) == x
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodingError):
+            decode_uint(Bits(""))
+
+    def test_rejects_leading_zero(self):
+        with pytest.raises(CodingError):
+            decode_uint(Bits("01"))
+
+    def test_zero_is_canonical(self):
+        assert decode_uint(Bits("0")) == 0

@@ -1,0 +1,39 @@
+"""advice_breakdown: component accounting of the advice string."""
+
+from repro.core import compute_advice
+from repro.core.advice import advice_breakdown
+from repro.lowerbounds import hk_graph, necklace
+
+
+class TestAdviceBreakdown:
+    def test_components_present(self):
+        b = compute_advice(necklace(4, 2))
+        d = advice_breakdown(b)
+        assert set(d) == {
+            "phi",
+            "E1_trie",
+            "E2_nested_tries",
+            "A2_bfs_tree",
+            "total_with_framing",
+        }
+
+    def test_e2_empty_iff_phi_one(self):
+        assert advice_breakdown(compute_advice(hk_graph(4)))["E2_nested_tries"] == 0
+        assert advice_breakdown(compute_advice(necklace(4, 3)))["E2_nested_tries"] > 0
+
+    def test_framing_overhead_bounded(self):
+        """Framing: E1/E2 sit two Concat levels deep (doubled twice, 4x),
+        phi and A2 one level deep (2x), plus O(1) separators."""
+        b = compute_advice(necklace(4, 2))
+        d = advice_breakdown(b)
+        expected = (
+            2 * d["phi"]
+            + 4 * (d["E1_trie"] + d["E2_nested_tries"])
+            + 2 * d["A2_bfs_tree"]
+        )
+        assert expected <= d["total_with_framing"] <= expected + 16
+
+    def test_tree_dominates_at_phi_one(self):
+        """At phi = 1 the labeled BFS tree is the bulk of the advice."""
+        d = advice_breakdown(compute_advice(hk_graph(8)))
+        assert d["A2_bfs_tree"] > d["E1_trie"]

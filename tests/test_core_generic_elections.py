@@ -1,0 +1,175 @@
+"""Generic(x) (Lemma 4.1), Election1..4 (Theorem 4.1) and the D+phi
+remark: correctness, time budgets, advice sizes, and cross-algorithm
+leader agreement."""
+
+import pytest
+
+from repro.core import run_elect, run_generic, run_known_d_phi
+from repro.core.elections import (
+    MILESTONES,
+    election_advice,
+    milestone_round_budget,
+    round_parameter,
+    run_election_milestone,
+)
+from repro.coding import decode_uint
+from repro.errors import AdviceError, AlgorithmError
+from repro.graphs import cycle_with_leader_gadget, lollipop
+from repro.lowerbounds import necklace
+from repro.views import election_index
+
+from tests.conftest import feasible_corpus
+
+
+class TestGeneric:
+    @pytest.mark.parametrize("name_g", feasible_corpus()[:6], ids=lambda p: p[0])
+    def test_correct_at_phi(self, name_g):
+        _, g = name_g
+        phi = election_index(g)
+        rec = run_generic(g, phi)
+        assert rec.election_time <= rec.diameter + phi + 1
+
+    @pytest.mark.parametrize("extra", [0, 1, 3])
+    def test_correct_above_phi(self, gadget6, extra):
+        phi = election_index(gadget6)
+        rec = run_generic(gadget6, phi + extra)
+        assert rec.election_time <= rec.diameter + phi + extra + 1
+
+    def test_leader_is_min_view_node(self, gadget6):
+        """Generic's leader: the node whose depth-x view is canonically
+        smallest — cross-check against direct computation."""
+        from repro.views import views_of_graph
+        from repro.views.order import view_min
+
+        phi = election_index(gadget6)
+        rec = run_generic(gadget6, phi)
+        views = views_of_graph(gadget6, phi)
+        assert views[rec.leader] is view_min(views)
+
+    def test_rejects_x_below_one(self):
+        from repro.core.generic import GenericAlgorithm
+
+        with pytest.raises(AlgorithmError):
+            GenericAlgorithm(0)
+
+    def test_x_below_phi_fails_or_elects_wrong(self):
+        """With x < phi two nodes share a depth-x view; Generic must not
+        produce a *verified* correct election with a unique leader in every
+        such case — specifically on a necklace, whose two leaves collide
+        below phi.  (The run may still terminate; the election verifier or
+        the minimum-uniqueness is what breaks.)"""
+        from repro.core.verify import verify_election
+        from repro.errors import ElectionFailure, ReproError, SimulationError
+        from repro.core.generic import GenericAlgorithm
+        from repro.sim import run_sync
+
+        g = necklace(4, 3)  # phi = 3
+        try:
+            result = run_sync(
+                g, lambda: GenericAlgorithm(1), max_rounds=g.diameter() + 30
+            )
+        except ReproError:
+            return  # acceptable failure mode: simulation-level breakdown
+        with pytest.raises(ElectionFailure):
+            verify_election(g, result.outputs)
+
+
+class TestMilestoneAdvice:
+    def test_advice_sizes_shrink(self):
+        # asymptotic hierarchy log > loglog > logloglog > log log* — use a
+        # phi large enough for the envelopes to separate
+        phi = 2**20
+        sizes = [len(election_advice(phi, m)) for m in MILESTONES]
+        assert sizes[0] >= sizes[1] >= sizes[2] >= sizes[3]
+        assert sizes[0] > sizes[2]
+
+    def test_advice_values(self):
+        assert decode_uint(election_advice(9, 1)) == 9
+        assert decode_uint(election_advice(9, 2)) == 3  # floor log 9
+        assert decode_uint(election_advice(9, 3)) == 1  # floor loglog 9
+        assert decode_uint(election_advice(9, 4)) == 2  # log* 9
+
+    @pytest.mark.parametrize("phi", [1, 2, 3, 5, 9, 17])
+    @pytest.mark.parametrize("milestone", MILESTONES)
+    def test_round_parameter_dominates_phi(self, phi, milestone):
+        """P_i >= phi: the property Lemma 4.1 needs."""
+        value = decode_uint(election_advice(phi, milestone))
+        assert round_parameter(value, milestone) >= phi
+
+    def test_bad_milestone_rejected(self):
+        with pytest.raises(AdviceError):
+            election_advice(3, 7)
+        with pytest.raises(AdviceError):
+            round_parameter(3, 0)
+        with pytest.raises(AdviceError):
+            milestone_round_budget(4, 2, 9, c=2)
+
+    def test_budget_requires_c_above_one(self):
+        with pytest.raises(AdviceError):
+            milestone_round_budget(4, 2, 1, c=1)
+
+
+class TestMilestoneRuns:
+    @pytest.mark.parametrize("milestone", MILESTONES)
+    def test_gadget(self, gadget6, milestone):
+        rec = run_election_milestone(gadget6, milestone)
+        assert rec.within_budget
+
+    @pytest.mark.parametrize("milestone", MILESTONES)
+    def test_necklace_phi2(self, milestone):
+        g = necklace(4, 2)
+        rec = run_election_milestone(g, milestone)
+        assert rec.within_budget
+        assert rec.phi == 2
+
+    def test_milestone1_exact_phi_knowledge(self):
+        g = lollipop(4, 3)
+        rec = run_election_milestone(g, 1)
+        assert rec.round_parameter == rec.phi
+
+    def test_phi1_milestone3_budget_waived(self):
+        """The documented phi=1 degenerate case of part 3."""
+        from repro.lowerbounds import hk_graph
+
+        g = hk_graph(4)
+        rec = run_election_milestone(g, 3)
+        assert rec.phi == 1
+        assert not rec.budget_applies
+        assert rec.within_budget  # vacuously
+
+
+class TestCrossAlgorithmAgreement:
+    def test_generic_knownDphi_agree(self, gadget6):
+        """Both elect the canonical minimum-view node at depth phi."""
+        phi = election_index(gadget6)
+        a = run_generic(gadget6, phi)
+        b = run_known_d_phi(gadget6)
+        assert a.leader == b.leader
+
+    def test_map_based_agrees_with_generic(self, gadget6):
+        from repro.baselines import run_map_based
+
+        phi = election_index(gadget6)
+        assert run_map_based(gadget6).leader == run_generic(gadget6, phi).leader
+
+    def test_elect_leader_valid_but_possibly_different(self, gadget6):
+        """Elect's leader is the trie's label-1 node, not necessarily the
+        canonical min-view node; both must be valid elections."""
+        rec = run_elect(gadget6)
+        assert 0 <= rec.leader < gadget6.n
+
+
+class TestKnownDPhi:
+    @pytest.mark.parametrize("name_g", feasible_corpus()[:5], ids=lambda p: p[0])
+    def test_time_exactly_d_plus_phi(self, name_g):
+        _, g = name_g
+        rec = run_known_d_phi(g)
+        assert rec.election_time == rec.diameter + rec.phi
+
+    def test_advice_logarithmic(self, gadget6):
+        import math
+
+        rec = run_known_d_phi(gadget6)
+        assert rec.advice_bits <= 8 * (
+            math.log2(rec.diameter + 1) + math.log2(rec.phi + 1) + 4
+        )

@@ -1,0 +1,113 @@
+"""Post-election protocols composed on top of verified elections."""
+
+import pytest
+
+from repro.core import compute_advice, run_elect, run_generic
+from repro.core.elect import ElectAlgorithm
+from repro.core.post_election import (
+    run_broadcast,
+    run_convergecast,
+    sequential_factory,
+)
+from repro.graphs import cycle_with_leader_gadget, lollipop
+from repro.sim import run_sync
+from repro.views import election_index
+
+
+def _elect_outputs(g):
+    bundle = compute_advice(g)
+    result = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+    return result.outputs, bundle.root
+
+
+class TestBroadcast:
+    def test_delivers_to_all(self, gadget6):
+        outputs, leader = _elect_outputs(gadget6)
+        rec = run_broadcast(gadget6, outputs, payload="token-42")
+        assert rec.payload == "token-42"
+
+    def test_rounds_equal_leader_eccentricity(self, gadget6):
+        outputs, leader = _elect_outputs(gadget6)
+        rec = run_broadcast(gadget6, outputs, payload=1)
+        assert rec.rounds == gadget6.eccentricity(leader)
+
+    def test_composes_with_generic(self):
+        g = lollipop(4, 3)
+        phi = election_index(g)
+        from repro.core.generic import GenericAlgorithm
+
+        result = run_sync(
+            g, lambda: GenericAlgorithm(phi), max_rounds=g.diameter() + phi + 2
+        )
+        rec = run_broadcast(g, result.outputs, payload=("new", "token"))
+        assert rec.payload == ("new", "token")
+
+
+class TestConvergecast:
+    def test_total_at_leader(self, gadget6):
+        outputs, leader = _elect_outputs(gadget6)
+        values = {v: float(v + 1) for v in gadget6.nodes()}
+        rec = run_convergecast(gadget6, outputs, values)
+        assert rec.leader_total == sum(values.values())
+
+    def test_subtree_sums_partition(self, gadget6):
+        """The leader's children's subtree sums plus the leader's own value
+        must add up to the total."""
+        outputs, leader = _elect_outputs(gadget6)
+        values = {v: 1.0 for v in gadget6.nodes()}
+        rec = run_convergecast(gadget6, outputs, values)
+        assert rec.leader_total == gadget6.n
+        # every node's subtree sum is a positive integer <= n
+        assert all(1.0 <= s <= gadget6.n for s in rec.subtree_sums.values())
+
+    def test_on_lollipop(self):
+        g = lollipop(5, 3)
+        outputs, _ = _elect_outputs(g)
+        values = {v: float(v) for v in g.nodes()}
+        rec = run_convergecast(g, outputs, values)
+        assert rec.leader_total == sum(values.values())
+
+    def test_rounds_bounded_by_depth(self, gadget6):
+        outputs, leader = _elect_outputs(gadget6)
+        rec = run_convergecast(
+            gadget6, outputs, {v: 0.0 for v in gadget6.nodes()}
+        )
+        # announcements + depth-many aggregation rounds, +1 slack
+        assert rec.rounds <= gadget6.eccentricity(leader) + 2
+
+
+class TestSequentialFactory:
+    def test_instances_in_order(self):
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def setup(self, ctx):
+                ctx.output((self.tag, self.tag))
+
+            def compose(self, ctx):
+                return None
+
+            def deliver(self, ctx, inbox):
+                pass
+
+        g = cycle_with_leader_gadget(4)
+        instances = [Tagged(v) for v in g.nodes()]
+        result = run_sync(g, sequential_factory(instances), max_rounds=1)
+        # engine instantiates in node order, so tags line up — but outputs
+        # must be valid paths for the verifier, so just check the mapping
+        assert all(result.outputs[v] == (v, v) for v in g.nodes())
+
+
+class TestEndToEndPipeline:
+    def test_elect_then_broadcast_then_convergecast(self):
+        """The full lifecycle the paper's intro describes: recover from a
+        lost token (elect), distribute the new token id (broadcast), and
+        audit the ring (convergecast)."""
+        g = cycle_with_leader_gadget(9)
+        record = run_elect(g)
+        outputs, _ = _elect_outputs(g)
+        b = run_broadcast(g, outputs, payload=f"token-{record.leader}")
+        c = run_convergecast(g, outputs, {v: 1.0 for v in g.nodes()})
+        assert b.payload.endswith(str(record.leader))
+        assert c.leader_total == g.n

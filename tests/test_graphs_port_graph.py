@@ -1,0 +1,181 @@
+"""Unit tests for PortGraph and PortGraphBuilder."""
+
+import pytest
+
+from repro.errors import (
+    FrozenGraphError,
+    GraphStructureError,
+    PortNumberingError,
+)
+from repro.graphs import PortGraph, PortGraphBuilder, ring
+
+
+def triangle():
+    b = PortGraphBuilder(3)
+    b.add_edge(0, 0, 1, 0)
+    b.add_edge(1, 1, 2, 0)
+    b.add_edge(2, 1, 0, 1)
+    return b.build()
+
+
+class TestBuilderBasics:
+    def test_counts(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_neighbor_reciprocity(self):
+        g = triangle()
+        for u in g.nodes():
+            for p in range(g.degree(u)):
+                v, q = g.neighbor(u, p)
+                back, back_port = g.neighbor(v, q)
+                assert back == u
+                assert back_port == p
+
+    def test_add_nodes_returns_ids(self):
+        b = PortGraphBuilder()
+        ids = b.add_nodes(4)
+        assert ids == [0, 1, 2, 3]
+        assert b.add_node() == 4
+
+    def test_auto_ports_are_smallest_free(self):
+        b = PortGraphBuilder(3)
+        assert b.add_edge_auto(0, 1) == (0, 0)
+        assert b.add_edge_auto(0, 2) == (1, 0)
+        assert b.add_edge_auto(1, 2) == (1, 1)
+        g = b.build()
+        assert g.degree(0) == 2
+
+    def test_copy_in_preserves_ports(self):
+        g = triangle()
+        b = PortGraphBuilder()
+        t = b.copy_in(g)
+        b2 = PortGraphBuilder()
+        t2 = b2.copy_in(g)
+        assert t == [0, 1, 2]
+        g2 = b.build()
+        assert g2 == g  # same adjacency including ports
+
+    def test_builder_frozen_after_build(self):
+        b = PortGraphBuilder(2)
+        b.add_edge(0, 0, 1, 0)
+        b.build()
+        with pytest.raises(FrozenGraphError):
+            b.add_node()
+
+
+class TestBuilderValidation:
+    def test_rejects_self_loop(self):
+        b = PortGraphBuilder(2)
+        with pytest.raises(GraphStructureError):
+            b.add_edge(0, 0, 0, 1)
+
+    def test_rejects_parallel_edge(self):
+        b = PortGraphBuilder(2)
+        b.add_edge(0, 0, 1, 0)
+        with pytest.raises(GraphStructureError):
+            b.add_edge(0, 1, 1, 1)
+
+    def test_rejects_port_reuse(self):
+        b = PortGraphBuilder(3)
+        b.add_edge(0, 0, 1, 0)
+        with pytest.raises(PortNumberingError):
+            b.add_edge(0, 0, 2, 0)
+
+    def test_rejects_negative_port(self):
+        b = PortGraphBuilder(2)
+        with pytest.raises(PortNumberingError):
+            b.add_edge(0, -1, 1, 0)
+
+    def test_rejects_port_gap(self):
+        b = PortGraphBuilder(3)
+        b.add_edge(0, 0, 1, 1, )
+        b.add_edge(1, 0, 2, 0)
+        # node 1 has ports {0, 1} ok; now give node 2 a gap
+        b.add_edge(0, 1, 2, 2)  # node 2 has ports {0, 2}: port 1 missing
+        with pytest.raises(PortNumberingError):
+            b.build()
+
+    def test_rejects_disconnected(self):
+        b = PortGraphBuilder(4)
+        b.add_edge(0, 0, 1, 0)
+        b.add_edge(2, 0, 3, 0)
+        with pytest.raises(GraphStructureError):
+            b.build()
+        # but allowed when explicitly requested
+        b2 = PortGraphBuilder(4)
+        b2.add_edge(0, 0, 1, 0)
+        b2.add_edge(2, 0, 3, 0)
+        g = b2.build(require_connected=False)
+        assert not g.is_connected()
+
+    def test_min_nodes(self):
+        b = PortGraphBuilder(2)
+        b.add_edge(0, 0, 1, 0)
+        with pytest.raises(GraphStructureError):
+            b.build(min_nodes=3)
+
+    def test_rejects_unknown_node(self):
+        b = PortGraphBuilder(2)
+        with pytest.raises(GraphStructureError):
+            b.add_edge(0, 0, 5, 0)
+
+    def test_direct_instantiation_forbidden(self):
+        with pytest.raises(TypeError):
+            PortGraph([[(1, 0)], [(0, 0)]])
+
+
+class TestDistances:
+    def test_ring_distances(self):
+        g = ring(8)
+        dist = g.bfs_distances(0)
+        assert dist[4] == 4
+        assert dist[1] == 1
+        assert g.diameter() == 4
+        assert g.eccentricity(3) == 4
+
+    def test_distance_symmetry(self):
+        g = ring(7)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert g.distance(u, v) == g.distance(v, u)
+
+    def test_port_to(self):
+        g = triangle()
+        assert g.port_to(0, 1) == 0
+        assert g.port_to(1, 0) == 0
+        with pytest.raises(GraphStructureError):
+            ring(5).port_to(0, 2)
+
+
+class TestFollowPortPath:
+    def test_valid_path(self):
+        g = ring(5)
+        # from 0 clockwise two steps: (0,1),(0,1)
+        nodes = g.follow_port_path(0, [(0, 1), (0, 1)])
+        assert nodes == [0, 1, 2]
+
+    def test_wrong_remote_port_rejected(self):
+        g = ring(5)
+        with pytest.raises(GraphStructureError):
+            g.follow_port_path(0, [(0, 0)])
+
+    def test_nonexistent_port_rejected(self):
+        g = ring(5)
+        with pytest.raises(PortNumberingError):
+            g.follow_port_path(0, [(7, 0)])
+
+
+class TestEqualityHash:
+    def test_equal_graphs(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+
+    def test_unequal_ports(self):
+        b = PortGraphBuilder(3)
+        b.add_edge(0, 1, 1, 0)  # swapped port at node 0
+        b.add_edge(1, 1, 2, 0)
+        b.add_edge(2, 1, 0, 0)
+        assert b.build() != triangle()

@@ -1,0 +1,82 @@
+"""Port-assignment engineering: randomization, optimization, sensitivity."""
+
+import pytest
+
+from repro.graphs import (
+    are_port_isomorphic,
+    clique,
+    cycle_with_leader_gadget,
+    lollipop,
+    ring,
+    to_networkx,
+)
+from repro.graphs.port_optimizer import (
+    optimize_ports,
+    port_sensitivity,
+    randomize_ports,
+)
+from repro.views import election_index, is_feasible
+
+import networkx as nx
+
+
+class TestRandomizePorts:
+    def test_topology_preserved(self):
+        g = lollipop(4, 3)
+        h = randomize_ports(g, seed=3)
+        assert nx.is_isomorphic(to_networkx(g), to_networkx(h))
+        assert g.degree_sequence() == h.degree_sequence()
+
+    def test_reproducible(self):
+        g = lollipop(4, 3)
+        assert randomize_ports(g, seed=5) == randomize_ports(g, seed=5)
+
+    def test_usually_changes_assignment(self):
+        g = cycle_with_leader_gadget(8)
+        changed = sum(
+            1 for s in range(5) if randomize_ports(g, seed=s) != g
+        )
+        assert changed >= 4
+
+
+class TestOptimizePorts:
+    def test_never_worse_than_original(self):
+        g = cycle_with_leader_gadget(8)
+        original_phi = election_index(g)
+        result = optimize_ports(g, restarts=10, seed=1)
+        assert result.feasible
+        assert result.phi <= original_phi
+        # the returned assignment really has that index
+        assert election_index(result.graph) == result.phi
+
+    def test_ring_can_become_feasible(self):
+        """The canonical ring is infeasible, but odd rings admit feasible
+        assignments — the optimizer should find one."""
+        g = ring(5)
+        assert not is_feasible(g)
+        result = optimize_ports(g, restarts=40, seed=2)
+        assert result.feasible
+        assert result.tried == 41
+
+    def test_clique_randomization_helps(self):
+        g = clique(5)  # canonical circulant: infeasible
+        result = optimize_ports(g, restarts=20, seed=3)
+        assert result.feasible
+
+    def test_counts_consistent(self):
+        g = cycle_with_leader_gadget(6)
+        result = optimize_ports(g, restarts=8, seed=4)
+        assert 1 <= result.feasible_count <= result.tried == 9
+
+
+class TestPortSensitivity:
+    def test_histogram_sums(self):
+        g = lollipop(4, 2)
+        hist = port_sensitivity(g, samples=12, seed=0)
+        assert sum(hist.values()) == 12
+
+    def test_ring_mixes_feasible_and_not(self):
+        hist = port_sensitivity(ring(6), samples=30, seed=1)
+        # the all-same-orientation assignments are infeasible; most random
+        # ones are feasible — both outcomes should appear
+        assert len(hist) >= 2

@@ -1,0 +1,62 @@
+"""Round-trip tests for graph serialization and the networkx bridge."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import CodingError
+from repro.graphs import (
+    PortGraphBuilder,
+    from_dict,
+    from_json,
+    from_networkx,
+    lollipop,
+    ring,
+    to_dict,
+    to_json,
+    to_networkx,
+)
+
+
+class TestDictJson:
+    def test_dict_round_trip(self):
+        g = lollipop(4, 3)
+        assert from_dict(to_dict(g)) == g
+
+    def test_json_round_trip(self):
+        g = ring(9)
+        assert from_json(to_json(g)) == g
+
+    def test_json_stable(self):
+        g = lollipop(5, 2)
+        assert to_json(g) == to_json(from_json(to_json(g)))
+
+    def test_malformed_dict(self):
+        with pytest.raises(CodingError):
+            from_dict({"edges": []})
+        with pytest.raises(CodingError):
+            from_dict({"n": 3, "edges": [[0, 0, 1]]})
+
+    def test_malformed_json(self):
+        with pytest.raises(CodingError):
+            from_json("{not json")
+
+
+class TestNetworkxBridge:
+    def test_round_trip_preserves_ports(self):
+        g = lollipop(4, 2)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_plain_graph_gets_ports(self):
+        nxg = nx.petersen_graph()
+        g = from_networkx(nxg)
+        assert g.n == 10
+        assert all(g.degree(v) == 3 for v in g.nodes())
+
+    def test_seeded_assignment_reproducible(self):
+        nxg = nx.petersen_graph()
+        assert from_networkx(nxg, seed=4) == from_networkx(nxg, seed=4)
+
+    def test_node_count_and_edges(self):
+        nxg = nx.path_graph(6)
+        g = from_networkx(nxg)
+        assert g.n == 6 and g.num_edges == 5

@@ -1,0 +1,45 @@
+"""Cross-cutting integration: the strict wire mode composed with the
+asynchronous engine — the most adversarial execution the library offers
+(serialized traffic, adversarial delays) must still reproduce the
+synchronous fast path bit for bit."""
+
+import pytest
+
+from repro.core import compute_advice, verify_election
+from repro.core.elect import ElectAlgorithm
+from repro.core.generic import GenericAlgorithm
+from repro.graphs import cycle_with_leader_gadget, lollipop
+from repro.lowerbounds import necklace
+from repro.sim import run_async, run_sync, wire_wrapped
+from repro.views import election_index
+
+
+class TestStrictAsync:
+    @pytest.mark.parametrize("seed", [1, 8])
+    def test_elect_strict_async(self, seed):
+        g = cycle_with_leader_gadget(6)
+        bundle = compute_advice(g)
+        baseline = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+        hostile = run_async(
+            g, wire_wrapped(ElectAlgorithm), advice=bundle.bits, seed=seed
+        )
+        assert hostile.outputs == baseline.outputs
+        assert verify_election(g, hostile.outputs).leader == bundle.root
+
+    def test_generic_strict_async(self):
+        g = lollipop(4, 2)
+        phi = election_index(g)
+        baseline = run_sync(g, lambda: GenericAlgorithm(phi))
+        hostile = run_async(
+            g, wire_wrapped(lambda: GenericAlgorithm(phi)), seed=3
+        )
+        assert hostile.outputs == baseline.outputs
+
+    def test_on_necklace(self):
+        g = necklace(4, 2)
+        bundle = compute_advice(g)
+        hostile = run_async(
+            g, wire_wrapped(ElectAlgorithm), advice=bundle.bits, seed=5
+        )
+        assert verify_election(g, hostile.outputs).leader == bundle.root
+        assert hostile.election_time == bundle.phi

@@ -1,0 +1,123 @@
+"""Lower-bound family tests: F(x) cliques and the Theorem 3.2
+ring-of-cliques (Claims 3.8, 3.9's Observation, counting)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.lowerbounds import (
+    clique_family_f,
+    clique_family_size,
+    gk_family_size,
+    gk_graph,
+    hk_graph,
+    hk_params,
+    shift_sequence,
+)
+from repro.lowerbounds.ring_of_cliques import gk_node_count
+from repro.views import election_index, views_of_graph
+
+
+class TestShiftSequences:
+    def test_count(self):
+        assert clique_family_size(3) == 8
+        assert clique_family_size(4) == 81
+
+    def test_sequences_distinct_and_in_range(self):
+        seqs = {shift_sequence(3, t) for t in range(8)}
+        assert len(seqs) == 8
+        for seq in seqs:
+            assert len(seq) == 3
+            assert all(1 <= h <= 2 for h in seq)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphStructureError):
+            shift_sequence(3, 8)
+        with pytest.raises(GraphStructureError):
+            clique_family_size(1)
+
+
+class TestCliqueFamily:
+    @pytest.mark.parametrize("x", [2, 3, 4])
+    def test_structure(self, x):
+        g = clique_family_f(x, 0)
+        assert g.n == x + 1
+        assert g.num_edges == (x + 1) * x // 2
+        # node r (= 0) has port i toward v_i
+        for i in range(x):
+            v, _ = g.neighbor(0, i)
+            assert v == 1 + i
+
+    def test_members_differ_in_some_remote_port_at_r(self):
+        """Claim 3.8 Case 1's engine: for distinct cliques attached
+        identically, some edge {r, v_i} carries different ports at v_i."""
+        x = 3
+        for t1, t2 in itertools.combinations(range(clique_family_size(x)), 2):
+            g1 = clique_family_f(x, t1)
+            g2 = clique_family_f(x, t2)
+            remote1 = [g1.neighbor(0, i)[1] for i in range(x)]
+            remote2 = [g2.neighbor(0, i)[1] for i in range(x)]
+            assert remote1 != remote2
+
+    def test_depth1_views_of_r_distinct_across_family(self):
+        x = 3
+        views = set()
+        for t in range(clique_family_size(x)):
+            g = clique_family_f(x, t)
+            views.add(views_of_graph(g, 1)[0])
+        assert len(views) == clique_family_size(x)
+
+
+class TestHkFamily:
+    def test_params_smallest_valid(self):
+        x = hk_params(5)
+        assert clique_family_size(x) >= 5
+        assert clique_family_size(x - 1) < 5 or x == 2
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_claim_38_election_index_one(self, k):
+        """Claim 3.8: every graph of the family has election index 1."""
+        assert election_index(hk_graph(k)) == 1
+
+    def test_gk_members_index_one(self):
+        for perm in ([1, 2, 3], [3, 2, 1], [2, 3, 1]):
+            assert election_index(gk_graph(4, perm)) == 1
+
+    def test_node_count(self):
+        k = 5
+        g = hk_graph(k)
+        assert g.n == gk_node_count(k)
+
+    def test_ring_node_degrees(self):
+        k, x = 5, hk_params(5)
+        g = hk_graph(k)
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        # k ring nodes of degree x+2; k*x clique nodes of degree x
+        assert degrees.count(x + 2) == k
+        assert degrees.count(x) == k * x
+
+    def test_observation_attachment_views_equal(self):
+        """The Observation in Claim 3.9's proof: the node r of the clique
+        C_t has the same B^1 regardless of where on the ring the clique
+        sits (ring ports are uniform)."""
+        k = 5
+        g1 = hk_graph(k, clique_indices=[0, 1, 2, 3, 4])
+        g2 = hk_graph(k, clique_indices=[0, 2, 1, 4, 3])
+        x = hk_params(k)
+        stride = x + 1
+        # clique 1 sits at ring slot 1 in g1 and slot 2 in g2
+        r1 = 1 * stride
+        r2 = 2 * stride
+        assert views_of_graph(g1, 1)[r1] is views_of_graph(g2, 1)[r2]
+
+    def test_family_count(self):
+        assert gk_family_size(5) == 24
+
+    def test_duplicate_cliques_rejected(self):
+        with pytest.raises(GraphStructureError):
+            hk_graph(4, clique_indices=[0, 1, 1, 2])
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(GraphStructureError):
+            gk_graph(4, [1, 2, 4])

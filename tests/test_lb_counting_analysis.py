@@ -1,0 +1,93 @@
+"""Counting arithmetic for the lower bounds, plus the analysis helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_ratio, format_markdown_table, format_table
+from repro.analysis.sweep import corpus_with_phi, sweep_elect
+from repro.lowerbounds import (
+    advice_bits_required,
+    thm32_lower_bound_bits,
+    thm33_lower_bound_bits,
+)
+from repro.views import election_index
+
+
+class TestAdviceBitsRequired:
+    def test_small_counts(self):
+        assert advice_bits_required(1) == 0
+        assert advice_bits_required(2) == 1  # strings of length <=0: just ""
+        assert advice_bits_required(3) == 1
+        assert advice_bits_required(4) == 2
+        assert advice_bits_required(7) == 2
+        assert advice_bits_required(8) == 3
+
+    def test_counting_identity(self):
+        """2^{L+1} - 1 strings of length <= L."""
+        for m in (1, 5, 100, 10**6):
+            L = advice_bits_required(m)
+            assert 2 ** (L + 1) - 1 >= m
+            if L > 0:
+                assert 2**L - 1 < m
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            advice_bits_required(0)
+
+
+class TestTheoremComparators:
+    def test_thm32_shape(self):
+        """Forced bits track Omega(n log log n): the ratio stays bounded
+        below and does not collapse as k grows."""
+        rows = [thm32_lower_bound_bits(k) for k in (8, 32, 128, 1024)]
+        ratios = [r["ratio"] for r in rows]
+        assert all(r > 0.05 for r in ratios)
+        # log((k-1)!) ~ k log k grows strictly
+        bits = [r["advice_bits_forced"] for r in rows]
+        assert bits == sorted(bits)
+
+    def test_thm33_shape(self):
+        rows = [thm33_lower_bound_bits(k, phi=3, x=4) for k in (8, 64, 512)]
+        assert all(r["family_size"] == 5 ** (r["k"] - 3) for r in rows)
+        bits = [r["advice_bits_forced"] for r in rows]
+        assert bits == sorted(bits)
+
+    def test_thm32_factorial_count(self):
+        assert thm32_lower_bound_bits(6)["family_size"] == math.factorial(5)
+
+
+class TestAnalysisHelpers:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "--" in lines[1]
+
+    def test_format_markdown(self):
+        text = format_markdown_table(["x"], [[3]])
+        assert text.splitlines()[0] == "| x |"
+
+    def test_fit_ratio(self):
+        a, dev = fit_ratio([1, 2, 3], [2, 4, 6])
+        assert abs(a - 2) < 1e-9
+        assert dev < 1e-9
+
+    def test_fit_ratio_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_ratio([], [])
+
+
+class TestCorpusGenerators:
+    @pytest.mark.parametrize("phi", [1, 2, 3])
+    def test_corpus_with_phi_delivers(self, phi):
+        for name, g in corpus_with_phi(phi, sizes=(4, 5)):
+            assert election_index(g) == phi, name
+
+    def test_sweep_elect_records(self):
+        records = sweep_elect(corpus_with_phi(1, sizes=(4,)))
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.phi == 1
+        assert rec.advice_bits > 0
+        assert rec.bits_per_nlogn > 0

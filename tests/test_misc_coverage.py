@@ -1,0 +1,121 @@
+"""Coverage for remaining corners: rng helpers, sweep corpus, lock
+combinators, milestone-4 arithmetic at larger phi, CLI flags, and the
+optimize-then-elect integration pipeline."""
+
+import pytest
+
+from repro.analysis.sweep import corpus_default, fit_ratio
+from repro.cli import main
+from repro.coding import decode_uint
+from repro.core import run_elect
+from repro.core.elections import election_advice, round_parameter
+from repro.errors import GraphStructureError
+from repro.graphs import PortGraphBuilder, optimize_ports, path_graph, ring
+from repro.lowerbounds import compose_star, z_lock
+from repro.lowerbounds.locks import attach_clique
+from repro.util.rng import make_rng, sample_distinct
+from repro.views import election_index, is_feasible
+
+
+class TestRngHelpers:
+    def test_make_rng_from_int(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        rng = make_rng(3)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_default_seeded(self):
+        assert make_rng(None).random() == make_rng(None).random()
+
+    def test_sample_distinct(self):
+        rng = make_rng(1)
+        out = sample_distinct(rng, range(10), 4)
+        assert len(set(out)) == 4
+
+    def test_sample_distinct_too_many(self):
+        with pytest.raises(ValueError):
+            sample_distinct(make_rng(1), range(3), 5)
+
+
+class TestSweepCorpus:
+    def test_corpus_default_feasible(self):
+        corpus = corpus_default()
+        assert len(corpus) >= 6
+        for name, g in corpus:
+            assert is_feasible(g), name
+
+    def test_corpus_respects_max_n(self):
+        for _, g in corpus_default(max_n=20):
+            assert g.n <= 21  # pendant adds one node
+
+    def test_fit_ratio_mismatched(self):
+        with pytest.raises(ValueError):
+            fit_ratio([1, 2], [1])
+
+
+class TestLockCombinators:
+    def test_compose_star_three_components(self):
+        g = compose_star(
+            [z_lock(4), path_graph(3), z_lock(5)], [(0, 0), (2, 1)]
+        )
+        assert g.is_connected()
+        assert g.n == 6 + 3 + 7
+
+    def test_compose_star_wrong_joins(self):
+        with pytest.raises(GraphStructureError):
+            compose_star([z_lock(4), z_lock(4)], [])
+
+    def test_attach_clique_minimum(self):
+        b = PortGraphBuilder(1)
+        with pytest.raises(GraphStructureError):
+            attach_clique(b, 0, 1)
+
+    def test_attach_clique_degree(self):
+        b = PortGraphBuilder(2)
+        b.add_edge(0, 0, 1, 0)
+        attach_clique(b, 0, 4)
+        g = b.build()
+        assert g.degree(0) == 1 + 3
+
+
+class TestMilestone4Arithmetic:
+    @pytest.mark.parametrize("phi,expected_p", [(4, 15), (15, 15), (16, 65535)])
+    def test_tower_parameters(self, phi, expected_p):
+        value = decode_uint(election_advice(phi, 4))
+        assert round_parameter(value, 4) == expected_p
+
+    def test_huge_phi_advice_tiny(self):
+        # log*(2^65536) territory is unreachable, but 2^1000 works:
+        advice = election_advice(2**1000, 4)
+        assert len(advice) <= 4  # log*(2^1000) = small
+
+
+class TestCliFlags:
+    def test_spectrum_custom_c(self, capsys):
+        assert main(["spectrum", "necklace:4,2", "--c", "3"]) == 0
+        assert "c = 3" in capsys.readouterr().out
+
+    def test_report_stdout(self, capsys):
+        assert main(["report"]) == 0
+        assert "# repro experiment report" in capsys.readouterr().out
+
+
+class TestOptimizeThenElect:
+    def test_pipeline_on_ring(self):
+        """End-to-end: an infeasible canonical ring, re-numbered by the
+        optimizer, runs the full Theorem 3.1 pipeline."""
+        g = ring(6)
+        assert not is_feasible(g)
+        result = optimize_ports(g, restarts=30, seed=11)
+        assert result.feasible
+        record = run_elect(result.graph)
+        assert record.phi == result.phi
+        assert record.election_time == record.phi
+
+    def test_pipeline_respects_minimality(self):
+        g = ring(5)
+        result = optimize_ports(g, restarts=30, seed=4)
+        if not result.feasible:
+            pytest.skip("no feasible assignment sampled")
+        assert election_index(result.graph) == result.phi

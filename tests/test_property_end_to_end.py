@@ -1,0 +1,96 @@
+"""Property-based end-to-end tests: random feasible graphs through the
+full Theorem 3.1 / 4.1 pipelines, plus view invariants under random
+graph perturbations."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_advice, run_elect, run_generic
+from repro.core.elections import run_election_milestone
+from repro.graphs import random_connected_graph
+from repro.views import election_index, is_feasible, truncate_view, views_of_graph
+
+graph_strategy = st.builds(
+    random_connected_graph,
+    n=st.integers(min_value=4, max_value=14),
+    extra_edges=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow],
+)
+
+
+class TestElectProperty:
+    @given(graph_strategy)
+    @common_settings
+    def test_elect_on_random_feasible(self, g):
+        assume(is_feasible(g))
+        record = run_elect(g)  # internally verifies leader + time == phi
+        assert record.advice_bits <= 250 * g.n * max(1.0, math.log2(g.n))
+
+    @given(graph_strategy)
+    @common_settings
+    def test_labels_bijection(self, g):
+        assume(is_feasible(g))
+        bundle = compute_advice(g)
+        assert sorted(bundle.labels.values()) == list(range(1, g.n + 1))
+
+
+class TestGenericProperty:
+    @given(graph_strategy, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow])
+    def test_generic_time_bound(self, g, slack):
+        assume(is_feasible(g))
+        phi = election_index(g)
+        rec = run_generic(g, phi + slack)  # internally checks D + x + 1
+        assert rec.leader in range(g.n)
+
+
+class TestMilestoneProperty:
+    @given(graph_strategy, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much, HealthCheck.too_slow])
+    def test_milestones_on_random(self, g, milestone):
+        assume(is_feasible(g))
+        rec = run_election_milestone(g, milestone)
+        assert rec.within_budget
+
+
+class TestViewInvariants:
+    @given(graph_strategy, st.integers(min_value=0, max_value=4))
+    @common_settings
+    def test_truncation_coherence(self, g, depth):
+        """truncate(B^{d+1}, d) == B^d for every node — the consistency the
+        whole view machinery rests on."""
+        deep = views_of_graph(g, depth + 1)
+        shallow = views_of_graph(g, depth)
+        for v in g.nodes():
+            assert truncate_view(deep[v], depth) is shallow[v]
+
+    @given(graph_strategy)
+    @common_settings
+    def test_partition_refines_monotonically(self, g):
+        prev = 1
+        for depth in range(5):
+            classes = len(set(views_of_graph(g, depth)))
+            assert classes >= prev
+            prev = classes
+
+    @given(graph_strategy)
+    @common_settings
+    def test_view_degree_matches_graph(self, g):
+        views = views_of_graph(g, 2)
+        for v in g.nodes():
+            assert views[v].degree == g.degree(v)
+            for p in range(g.degree(v)):
+                u, q = g.neighbor(v, p)
+                assert views[v].remote_port(p) == q
+                assert views[v].child(p).degree == g.degree(u)

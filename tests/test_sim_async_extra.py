@@ -1,0 +1,84 @@
+"""Extended asynchronous-engine coverage: all algorithms, seed
+robustness, and failure paths."""
+
+import pytest
+
+from repro.core import compute_advice, verify_election
+from repro.core.elect import ElectAlgorithm
+from repro.core.elections import election_advice, make_election_algorithm
+from repro.core.generic import GenericAlgorithm
+from repro.core.known_d_phi import KnownDPhiAlgorithm, known_d_phi_advice
+from repro.errors import SimulationError
+from repro.graphs import cycle_with_leader_gadget, lollipop
+from repro.sim import run_async, run_sync
+from repro.views import election_index
+
+
+class TestAsyncAllAlgorithms:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return cycle_with_leader_gadget(6)
+
+    def test_generic_async_equals_sync(self, graph):
+        phi = election_index(graph)
+        sync = run_sync(graph, lambda: GenericAlgorithm(phi))
+        async_ = run_async(graph, lambda: GenericAlgorithm(phi), seed=5)
+        assert sync.outputs == async_.outputs
+        assert verify_election(graph, async_.outputs)
+
+    def test_known_d_phi_async(self, graph):
+        phi = election_index(graph)
+        advice = known_d_phi_advice(graph.diameter(), phi)
+        sync = run_sync(graph, KnownDPhiAlgorithm, advice=advice)
+        async_ = run_async(graph, KnownDPhiAlgorithm, advice=advice, seed=2)
+        assert sync.outputs == async_.outputs
+        assert sync.election_time == async_.election_time
+
+    def test_milestone_async(self, graph):
+        phi = election_index(graph)
+        advice = election_advice(phi, 1)
+        sync = run_sync(graph, make_election_algorithm(1), advice=advice)
+        async_ = run_async(
+            graph, make_election_algorithm(1), advice=advice, seed=9
+        )
+        assert sync.outputs == async_.outputs
+
+    @pytest.mark.parametrize("seed", [0, 3, 17, 99])
+    def test_seed_independence(self, graph, seed):
+        """Outputs must not depend on the delay schedule at all."""
+        bundle = compute_advice(graph)
+        baseline = run_sync(graph, ElectAlgorithm, advice=bundle.bits)
+        async_ = run_async(
+            graph, ElectAlgorithm, advice=bundle.bits, seed=seed, max_delay=50.0
+        )
+        assert async_.outputs == baseline.outputs
+
+    def test_different_topology(self):
+        g = lollipop(4, 3)
+        bundle = compute_advice(g)
+        sync = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+        async_ = run_async(g, ElectAlgorithm, advice=bundle.bits, seed=7)
+        assert sync.outputs == async_.outputs
+
+
+class TestAsyncFailurePaths:
+    def test_max_events_guard(self):
+        g = cycle_with_leader_gadget(6)
+        bundle = compute_advice(g)
+        with pytest.raises(SimulationError):
+            run_async(g, ElectAlgorithm, advice=bundle.bits, max_events=3)
+
+    def test_silent_algorithm_detected(self):
+        class Silent:
+            def setup(self, ctx):
+                pass
+
+            def compose(self, ctx):
+                return None
+
+            def deliver(self, ctx, inbox):
+                pass
+
+        g = cycle_with_leader_gadget(5)
+        with pytest.raises(SimulationError):
+            run_async(g, Silent, seed=1)

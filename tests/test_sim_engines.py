@@ -1,0 +1,203 @@
+"""LOCAL-model engine tests: round semantics, COM correctness (the key
+integration point: simulated view acquisition must equal the oracle's
+direct computation), the paranoid message checker, and sync/async
+equivalence."""
+
+import pytest
+
+from repro.errors import AlgorithmError, SimulationError
+from repro.graphs import cycle_with_leader_gadget, lollipop, path_graph, ring
+from repro.sim import (
+    AsyncEngine,
+    SyncEngine,
+    ViewAccumulator,
+    run_async,
+    run_sync,
+)
+from repro.views import views_of_graph
+
+
+class OutputDegreeAtOnce:
+    """Trivial algorithm: output your degree during setup (time 0)."""
+
+    def setup(self, ctx):
+        ctx.output((0, 0))
+
+    def compose(self, ctx):
+        return None
+
+    def deliver(self, ctx, inbox):
+        pass
+
+
+class ComForRounds:
+    """Run COM for a fixed number of rounds, then output the empty path;
+    exposes the final view for white-box checks."""
+
+    last_views = []  # class-level capture
+
+    def __init__(self, rounds=3):
+        self._rounds = rounds
+        self._acc = None
+
+    def setup(self, ctx):
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx, inbox):
+        self._acc.absorb(inbox)
+        if self._acc.depth == self._rounds and not ctx.has_output:
+            ComForRounds.last_views.append(self._acc.view)
+            ctx.output(())
+
+
+class TestSyncEngine:
+    def test_time_zero_output(self):
+        result = run_sync(ring(5), OutputDegreeAtOnce)
+        assert result.rounds == 0
+        assert result.election_time == 0
+        assert all(r == 0 for r in result.output_round.values())
+
+    def test_com_rounds_counted(self):
+        ComForRounds.last_views = []
+        result = run_sync(ring(6), lambda: ComForRounds(3))
+        assert result.election_time == 3
+        assert result.rounds == 3
+
+    def test_com_views_match_oracle(self):
+        """After t COM rounds every node's accumulated view equals the
+        directly computed B^t — the central simulation/oracle agreement."""
+        for g in (ring(6), lollipop(4, 2), cycle_with_leader_gadget(7)):
+            ComForRounds.last_views = []
+            run_sync(g, lambda: ComForRounds(3))
+            oracle = views_of_graph(g, 3)
+            assert set(map(id, ComForRounds.last_views)) == set(map(id, oracle))
+
+    def test_message_counting(self):
+        g = ring(5)
+        result = run_sync(g, lambda: ComForRounds(2))
+        # every node sends on both ports every round until all output
+        assert result.total_messages == 5 * 2 * 2
+        assert result.per_round_messages == [10, 10]
+
+    def test_max_rounds_guard(self):
+        class Silent:
+            def setup(self, ctx):
+                pass
+
+            def compose(self, ctx):
+                return None
+
+            def deliver(self, ctx, inbox):
+                pass
+
+        with pytest.raises(SimulationError):
+            run_sync(ring(4), Silent, max_rounds=5)
+
+    def test_double_output_rejected(self):
+        class Doubler:
+            def setup(self, ctx):
+                ctx.output(())
+                ctx.output(())
+
+            def compose(self, ctx):
+                return None
+
+            def deliver(self, ctx, inbox):
+                pass
+
+        with pytest.raises(AlgorithmError):
+            run_sync(ring(4), Doubler)
+
+    def test_bad_port_rejected(self):
+        class BadPort:
+            def setup(self, ctx):
+                pass
+
+            def compose(self, ctx):
+                return {99: "hello"}
+
+            def deliver(self, ctx, inbox):
+                ctx.output(())
+
+        with pytest.raises(AlgorithmError):
+            run_sync(ring(4), BadPort)
+
+    def test_paranoid_rejects_mutable_messages(self):
+        class SendsList:
+            def setup(self, ctx):
+                pass
+
+            def compose(self, ctx):
+                return {0: [1, 2]}
+
+            def deliver(self, ctx, inbox):
+                ctx.output(())
+
+        with pytest.raises(AlgorithmError):
+            run_sync(ring(4), SendsList, paranoid=True)
+        # tuples are fine
+        class SendsTuple(SendsList):
+            def compose(self, ctx):
+                return {0: (1, 2)}
+
+        run_sync(ring(4), SendsTuple, paranoid=True)
+
+
+class TestViewAccumulator:
+    def test_initial_depth_zero(self):
+        acc = ViewAccumulator(3)
+        assert acc.depth == 0
+        assert acc.view.degree == 3
+
+    def test_outgoing_tags_ports(self):
+        acc = ViewAccumulator(2)
+        out = acc.outgoing()
+        assert set(out) == {0, 1}
+        assert out[1][0] == 1
+
+    def test_absorb_rejects_missing_message(self):
+        acc = ViewAccumulator(2)
+        with pytest.raises(SimulationError):
+            acc.absorb([None, (0, acc.view)])
+
+    def test_absorb_rejects_depth_mismatch(self):
+        acc1 = ViewAccumulator(1)
+        acc2 = ViewAccumulator(1)
+        acc2.absorb([(0, acc1.view)])  # acc2 now at depth 1
+        with pytest.raises(SimulationError):
+            acc1.absorb([(0, acc2.view)])  # depth-1 view into depth-0 round
+
+    def test_absorb_rejects_non_view(self):
+        acc = ViewAccumulator(1)
+        with pytest.raises(SimulationError):
+            acc.absorb([(0, "not a view")])
+
+
+class TestAsyncEngine:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_matches_sync_outputs(self, seed):
+        """The alpha-synchronizer must reproduce the synchronous outputs
+        bit-for-bit under any delay schedule."""
+        from repro.core import compute_advice
+        from repro.core.elect import ElectAlgorithm
+
+        g = cycle_with_leader_gadget(6)
+        bundle = compute_advice(g)
+        sync = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+        async_ = run_async(g, ElectAlgorithm, advice=bundle.bits, seed=seed)
+        assert async_.outputs == sync.outputs
+        assert async_.output_round == sync.output_round
+
+    def test_com_algorithm_async(self):
+        ComForRounds.last_views = []
+        result = run_async(ring(6), lambda: ComForRounds(2), seed=3)
+        oracle = views_of_graph(ring(6), 2)
+        assert set(map(id, ComForRounds.last_views)) <= set(map(id, oracle))
+        assert result.election_time == 2
+
+    def test_setup_only_algorithm(self):
+        result = run_async(ring(5), OutputDegreeAtOnce, seed=1)
+        assert result.rounds == 0

@@ -1,0 +1,84 @@
+"""Message-complexity tracing: DAG-size accounting and engine hook."""
+
+import pytest
+
+from repro.graphs import cycle_with_leader_gadget, ring
+from repro.sim import ViewAccumulator, run_sync
+from repro.sim.trace import Tracer, message_cost, view_dag_size
+from repro.views import views_of_graph
+
+
+class ComFor:
+    def __init__(self, rounds):
+        self._rounds = rounds
+        self._acc = None
+
+    def setup(self, ctx):
+        self._acc = ViewAccumulator(ctx.degree)
+
+    def compose(self, ctx):
+        return self._acc.outgoing()
+
+    def deliver(self, ctx, inbox):
+        self._acc.absorb(inbox)
+        if self._acc.depth == self._rounds and not ctx.has_output:
+            ctx.output(())
+
+
+class TestViewDagSize:
+    def test_depth_zero(self):
+        v = views_of_graph(ring(5), 0)[0]
+        assert view_dag_size(v) == 1
+
+    def test_ring_views_linear_in_depth(self):
+        """On a symmetric ring all nodes share views, so the DAG of a
+        depth-d view has exactly d+1 distinct nodes."""
+        for d in range(4):
+            v = views_of_graph(ring(6), d)[0]
+            assert view_dag_size(v) == d + 1
+
+    def test_dag_never_exceeds_tree(self):
+        g = cycle_with_leader_gadget(6)
+        for v in views_of_graph(g, 3):
+            assert view_dag_size(v) <= v.tree_size()
+
+    def test_cached(self):
+        v = views_of_graph(ring(5), 2)[0]
+        assert view_dag_size(v) == view_dag_size(v)
+
+
+class TestMessageCost:
+    def test_plain_values(self):
+        assert message_cost(42) == 1
+        assert message_cost("x") == 1
+
+    def test_tuple_sums(self):
+        v = views_of_graph(ring(5), 1)[0]
+        assert message_cost((0, v)) == 1 + view_dag_size(v)
+
+
+class TestTracerIntegration:
+    def test_rounds_recorded(self):
+        g = ring(6)
+        tracer = Tracer()
+        result = run_sync(g, lambda: ComFor(3), tracer=tracer)
+        assert len(tracer.rounds) == result.rounds == 3
+        assert tracer.total_messages == result.total_messages
+
+    def test_cost_grows_with_depth(self):
+        """COM messages get costlier round over round (deeper views)."""
+        g = cycle_with_leader_gadget(6)
+        tracer = Tracer()
+        run_sync(g, lambda: ComFor(4), tracer=tracer)
+        costs = [r.total_cost for r in tracer.rounds]
+        assert costs == sorted(costs)
+        depths = [r.max_view_depth for r in tracer.rounds]
+        assert depths == [0, 1, 2, 3]
+
+    def test_summary(self):
+        tracer = Tracer()
+        run_sync(ring(5), lambda: ComFor(2), tracer=tracer)
+        s = tracer.summary()
+        assert s["rounds"] == 2
+        assert s["messages"] == 20
+        assert s["max_view_depth"] == 1

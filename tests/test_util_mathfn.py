@@ -1,0 +1,122 @@
+"""Unit tests for the integer-exact math helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.mathfn import (
+    ceil_log2,
+    floor_log2,
+    ilog_iter,
+    log_star,
+    tower,
+    tower_index,
+)
+
+
+class TestFloorCeilLog2:
+    def test_powers_of_two(self):
+        for e in range(20):
+            assert floor_log2(2**e) == e
+            assert ceil_log2(2**e) == e
+
+    def test_between_powers(self):
+        assert floor_log2(5) == 2
+        assert ceil_log2(5) == 3
+        assert floor_log2(1023) == 9
+        assert ceil_log2(1023) == 10
+
+    def test_one(self):
+        assert floor_log2(1) == 0
+        assert ceil_log2(1) == 0
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            floor_log2(bad)
+        with pytest.raises(ValueError):
+            ceil_log2(bad)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_floor_bracketing(self, x):
+        f = floor_log2(x)
+        assert 2**f <= x < 2 ** (f + 1)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_ceil_bracketing(self, x):
+        c = ceil_log2(x)
+        assert 2**c >= x
+        if x > 1:
+            assert 2 ** (c - 1) < x
+
+
+class TestIlogIter:
+    def test_single_is_floor_log(self):
+        assert ilog_iter(100, 1) == floor_log2(100)
+
+    def test_double(self):
+        # floor(log floor(log 256)) = floor(log 8) = 3
+        assert ilog_iter(256, 2) == 3
+
+    def test_zero_times_identity(self):
+        assert ilog_iter(42, 0) == 42
+
+
+class TestLogStar:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 0), (2, 1), (3, 1), (4, 2), (15, 2), (16, 3), (65535, 3), (65536, 4)],
+    )
+    def test_known_values(self, x, expected):
+        assert log_star(x) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log_star(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_tower_inverse_bound(self, x):
+        """tower(log*(x) + 1) >= x: the guarantee Election4 relies on."""
+        s = log_star(x)
+        if s + 1 <= 4:  # stay within the tower overflow guard
+            assert tower(s + 1, 2) - 1 >= x or tower(s + 1, 2) >= x
+
+
+class TestTower:
+    def test_values(self):
+        assert tower(0, 2) == 1
+        assert tower(1, 2) == 2
+        assert tower(2, 2) == 4
+        assert tower(3, 2) == 16
+        assert tower(4, 2) == 65536
+
+    def test_base_three(self):
+        assert tower(2, 3) == 27
+
+    def test_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            tower(5, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            tower(-1, 2)
+        with pytest.raises(ValueError):
+            tower(2, 1)
+
+
+class TestTowerIndex:
+    def test_known(self):
+        assert tower_index(1) == 0
+        assert tower_index(2) == 1
+        assert tower_index(3) == 2
+        assert tower_index(4) == 2
+        assert tower_index(5) == 3
+        assert tower_index(16) == 3
+        assert tower_index(17) == 4
+
+    @given(st.integers(min_value=1, max_value=65536))
+    def test_is_inverse(self, x):
+        i = tower_index(x)
+        assert tower(i, 2) >= x
+        if i > 0:
+            assert tower(i - 1, 2) < x

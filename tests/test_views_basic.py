@@ -1,0 +1,125 @@
+"""Views: interning, equality-by-identity, truncation, and the
+cross-validation of the interned construction against the explicit
+recursive tree expansion (the load-bearing equivalence of the library)."""
+
+import pytest
+
+from repro.graphs import (
+    cycle_with_leader_gadget,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    ring,
+)
+from repro.views import (
+    View,
+    explicit_view_tree,
+    truncate_view,
+    view_nested_tuple,
+    views_of_graph,
+)
+
+
+class TestInterning:
+    def test_depth0_views_by_degree(self):
+        g = ring(5)
+        views = views_of_graph(g, 0)
+        assert len(set(views)) == 1  # all degree 2
+        assert views[0].degree == 2
+        assert views[0].depth == 0
+
+    def test_identity_equality(self):
+        g = ring(6)
+        v1 = views_of_graph(g, 3)
+        v2 = views_of_graph(g, 3)
+        assert all(a is b for a, b in zip(v1, v2))
+
+    def test_cross_graph_interning(self):
+        """Views of isomorphic-with-ports structures are the same object
+        even across different graphs — the fooling-pair machinery."""
+        a = views_of_graph(ring(6), 2)
+        b = views_of_graph(ring(9), 2)
+        # at depth 2 a large ring looks locally identical everywhere
+        assert a[0] is b[0]
+
+    def test_ring_views_all_equal_at_any_depth(self):
+        g = ring(7)
+        for depth in range(5):
+            assert len(set(views_of_graph(g, depth))) == 1
+
+    def test_direct_instantiation_forbidden(self):
+        with pytest.raises(TypeError):
+            View(2, ())
+
+    def test_immutable(self):
+        v = views_of_graph(ring(5), 1)[0]
+        with pytest.raises(AttributeError):
+            v.degree = 3
+
+    def test_children_arity_enforced(self):
+        v0 = View.make(2, ())
+        with pytest.raises(ValueError):
+            View.make(3, ((0, v0), (1, v0)))  # 2 children for degree 3
+
+
+class TestAgainstExplicitExpansion:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_matches_explicit_on_gadget(self, depth):
+        g = cycle_with_leader_gadget(5)
+        interned = views_of_graph(g, depth)
+        for v in g.nodes():
+            assert view_nested_tuple(interned[v]) == explicit_view_tree(g, v, depth)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_explicit_on_random(self, seed):
+        g = random_connected_graph(8, extra_edges=3, seed=seed)
+        interned = views_of_graph(g, 2)
+        for v in g.nodes():
+            assert view_nested_tuple(interned[v]) == explicit_view_tree(g, v, 2)
+
+    def test_equality_matches_explicit_equality(self):
+        g = lollipop(4, 3)
+        depth = 2
+        interned = views_of_graph(g, depth)
+        explicit = [explicit_view_tree(g, v, depth) for v in g.nodes()]
+        for u in g.nodes():
+            for v in g.nodes():
+                assert (interned[u] is interned[v]) == (explicit[u] == explicit[v])
+
+
+class TestTruncation:
+    def test_truncate_to_same_depth_is_identity(self):
+        v = views_of_graph(ring(5), 3)[0]
+        assert truncate_view(v, 3) is v
+
+    def test_truncate_matches_direct_computation(self):
+        g = lollipop(4, 2)
+        deep = views_of_graph(g, 4)
+        for target in range(5):
+            shallow = views_of_graph(g, target)
+            for node in g.nodes():
+                assert truncate_view(deep[node], target) is shallow[node]
+
+    def test_cannot_extend(self):
+        v = views_of_graph(ring(5), 1)[0]
+        with pytest.raises(ValueError):
+            truncate_view(v, 2)
+
+
+class TestViewAccessors:
+    def test_child_and_remote_port(self):
+        g = path_graph(3)  # 0 -1- 2
+        views = views_of_graph(g, 1)
+        center = views[1]
+        assert center.degree == 2
+        assert center.child(0).degree == 1
+        # edge {0,1}: at node 1 (internal), port toward 0... check reciprocity
+        for p in range(2):
+            q = center.remote_port(p)
+            assert q in (0, 1)
+
+    def test_tree_size_small(self):
+        g = ring(5)
+        v = views_of_graph(g, 2)[0]
+        # ring view tree: 1 + 2 + 4 nodes
+        assert v.tree_size() == 7

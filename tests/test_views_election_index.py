@@ -1,0 +1,128 @@
+"""Election index and feasibility: Proposition 2.1's characterization,
+known values on constructions, Proposition 2.2's bound, and the
+brute-force cross-check of the refinement shortcut."""
+
+import math
+
+import pytest
+
+from repro.errors import InfeasibleGraphError
+from repro.graphs import (
+    PortGraphBuilder,
+    clique,
+    cycle_with_leader_gadget,
+    hypercube,
+    lollipop,
+    path_graph,
+    random_connected_graph,
+    ring,
+    star,
+)
+from repro.views import (
+    election_index,
+    explicit_view_tree,
+    is_feasible,
+    view_classes,
+    view_partition_trace,
+    views_of_graph,
+)
+
+
+class TestInfeasible:
+    @pytest.mark.parametrize(
+        "g",
+        [ring(4), ring(7), clique(5), hypercube(3), path_graph(2)],
+        ids=["ring4", "ring7", "clique5", "cube3", "path2"],
+    )
+    def test_symmetric_graphs_infeasible(self, g):
+        assert not is_feasible(g)
+        with pytest.raises(InfeasibleGraphError):
+            election_index(g)
+
+    def test_two_node_graph_infeasible(self):
+        b = PortGraphBuilder(2)
+        b.add_edge(0, 0, 1, 0)
+        assert not is_feasible(b.build())
+
+
+class TestKnownIndices:
+    def test_index_at_least_one(self):
+        """No graph has all node degrees distinct, so phi >= 1 always."""
+        for g in (lollipop(4, 3), cycle_with_leader_gadget(7)):
+            assert election_index(g) >= 1
+
+    def test_midpoint_path(self):
+        # path on 5 nodes: phi computed = minimum depth of distinct views
+        g = path_graph(5)
+        phi = election_index(g)
+        views = views_of_graph(g, phi)
+        assert len(set(views)) == g.n
+        if phi > 0:
+            assert len(set(views_of_graph(g, phi - 1))) < g.n
+
+    @pytest.mark.parametrize("seed", [1, 4, 9, 16])
+    def test_minimality_on_random(self, seed):
+        g = random_connected_graph(12, extra_edges=6, seed=seed)
+        if not is_feasible(g):
+            pytest.skip("sampled graph infeasible")
+        phi = election_index(g)
+        assert len(set(views_of_graph(g, phi))) == g.n
+        assert len(set(views_of_graph(g, phi - 1))) < g.n
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [2, 5, 7])
+    def test_refinement_matches_explicit_trees(self, seed):
+        """The refinement's classes at each depth equal brute-force
+        equality of explicitly expanded view trees."""
+        g = random_connected_graph(8, extra_edges=3, seed=seed)
+        for depth in range(4):
+            interned = views_of_graph(g, depth)
+            explicit = [explicit_view_tree(g, v, depth) for v in g.nodes()]
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert (interned[u] is interned[v]) == (
+                        explicit[u] == explicit[v]
+                    )
+
+
+class TestProposition22:
+    """phi = O(D log(n/D)) — check the concrete inequality phi <=
+    2 * D * (log2(n/D) + 2) on the corpus (a generous constant; the point
+    is the shape, not the constant)."""
+
+    @pytest.mark.parametrize("seed", [3, 6, 10, 21])
+    def test_bound_random(self, seed):
+        g = random_connected_graph(14, extra_edges=8, seed=seed)
+        if not is_feasible(g):
+            pytest.skip("sampled graph infeasible")
+        phi = election_index(g)
+        d = g.diameter()
+        bound = 2 * d * (math.log2(max(2, g.n / d)) + 2)
+        assert phi <= bound
+
+    def test_bound_structured(self):
+        for g in (lollipop(5, 4), cycle_with_leader_gadget(10)):
+            phi = election_index(g)
+            d = g.diameter()
+            assert phi <= 2 * d * (math.log2(max(2, g.n / d)) + 2)
+
+
+class TestPartitionDiagnostics:
+    def test_trace_monotone(self):
+        g = cycle_with_leader_gadget(8)
+        trace = view_partition_trace(g)
+        counts = [c for _, c in trace]
+        assert counts == sorted(counts)
+        assert counts[-1] == g.n
+
+    def test_trace_stops_on_stabilization(self):
+        trace = view_partition_trace(ring(6))
+        counts = [c for _, c in trace]
+        assert counts[-1] < 6
+
+    def test_view_classes_partition(self):
+        g = lollipop(4, 3)
+        classes = view_classes(g, 1)
+        all_nodes = sorted(v for nodes in classes.values() for v in nodes)
+        assert all_nodes == list(g.nodes())

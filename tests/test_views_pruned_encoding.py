@@ -1,0 +1,111 @@
+"""Pruned views (standalone semantics) and the faithful bin(B^1)
+encoding of Proposition 3.3."""
+
+import pytest
+
+from repro.coding.concat import decode_concat
+from repro.coding.integers import decode_uint
+from repro.errors import GraphStructureError
+from repro.graphs import PortGraphBuilder, lollipop, ring
+from repro.lowerbounds import z_lock
+from repro.views import materialize_pruned_view, views_of_graph
+from repro.views.encoding import encode_b1
+
+
+class TestPrunedView:
+    def test_ring_pruned_is_path(self):
+        """Pruning one port of a ring node unrolls the ring into a path."""
+        g = ring(6)
+        b = PortGraphBuilder()
+        res = materialize_pruned_view(b, g, 0, excluded_ports=[1], depth=3)
+        # cap the leaf stub: attach a pendant? leaves carry their parent
+        # port; for the ring the parent port at each level is 1, so add a
+        # pendant at port 0 of the leaf to make ports contiguous
+        for leaf in res.leaves:
+            cap = b.add_node()
+            b.add_edge(leaf, 0, cap, 0)
+        t = b.build()
+        # path of 4 nodes + cap
+        assert t.n == 5
+        assert len(res.leaves) == 1
+
+    def test_branching_counts(self):
+        g = z_lock(5)
+        central = max(g.nodes(), key=g.degree)
+        # exclude the clique ports, keep the two cycle ports
+        cycle_ports = [0, 1]
+        excluded = [p for p in range(g.degree(central)) if p not in cycle_ports]
+        b = PortGraphBuilder()
+        res = materialize_pruned_view(b, g, central, excluded, depth=2)
+        # depth 1: two cycle nodes; depth 2: one child each (cycle of 3)
+        assert len(res.leaves) == 2
+
+    def test_root_keeps_original_ports(self):
+        g = lollipop(4, 2)
+        b = PortGraphBuilder()
+        res = materialize_pruned_view(b, g, 0, excluded_ports=[0], depth=1)
+        # root has ports 1..deg-1 assigned, port 0 free
+        assert b.next_free_port(res.root) == 0
+
+    def test_excluded_port_validation(self):
+        g = ring(5)
+        b = PortGraphBuilder()
+        with pytest.raises(GraphStructureError):
+            materialize_pruned_view(b, g, 0, excluded_ports=[5], depth=2)
+        with pytest.raises(GraphStructureError):
+            materialize_pruned_view(b, g, 0, excluded_ports=[0, 1], depth=2)
+        with pytest.raises(GraphStructureError):
+            materialize_pruned_view(b, g, 0, excluded_ports=[], depth=0)
+
+    def test_degree_one_interior_rejected(self):
+        g = lollipop(4, 2)  # tail end has degree 1
+        b = PortGraphBuilder()
+        tail_neighbor_port = None
+        # from clique node 0, walk toward the tail: excluded = clique ports
+        with pytest.raises(GraphStructureError):
+            materialize_pruned_view(
+                b, g, 0, excluded_ports=[0, 1, 2], depth=4
+            )
+
+    def test_source_mapping(self):
+        g = ring(4)
+        b = PortGraphBuilder()
+        res = materialize_pruned_view(b, g, 0, excluded_ports=[1], depth=2)
+        assert res.source_of[res.root] == 0
+        assert set(res.source_of.values()) <= set(g.nodes())
+
+
+class TestEncodeB1:
+    def test_structure_decodable(self):
+        g = lollipop(4, 2)
+        views = views_of_graph(g, 1)
+        bits = encode_b1(views[0])
+        triples = decode_concat(bits)
+        assert len(triples) == g.degree(0)
+        for j, triple in enumerate(triples):
+            fields = decode_concat(triple)
+            assert decode_uint(fields[0]) == j
+            u, q = g.neighbor(0, j)
+            assert decode_uint(fields[1]) == q
+            assert decode_uint(fields[2]) == g.degree(u)
+
+    def test_injective_on_distinct_views(self):
+        g = lollipop(5, 3)
+        views = views_of_graph(g, 1)
+        codes = {}
+        for v in g.nodes():
+            codes.setdefault(encode_b1(views[v]).as_str(), set()).add(views[v])
+        for code, view_set in codes.items():
+            assert len(view_set) == 1
+
+    def test_rejects_wrong_depth(self):
+        g = ring(5)
+        with pytest.raises(ValueError):
+            encode_b1(views_of_graph(g, 2)[0])
+        with pytest.raises(ValueError):
+            encode_b1(views_of_graph(g, 0)[0])
+
+    def test_cached(self):
+        g = ring(5)
+        v = views_of_graph(g, 1)[0]
+        assert encode_b1(v) is encode_b1(v)

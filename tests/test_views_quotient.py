@@ -1,0 +1,95 @@
+"""The view quotient: minimum bases of symmetric graphs."""
+
+import pytest
+
+from repro.graphs import (
+    circulant,
+    clique,
+    cycle_with_leader_gadget,
+    grid_torus,
+    hypercube,
+    ring,
+    star,
+    wheel,
+)
+from repro.views import is_feasible
+from repro.views.quotient import view_quotient
+
+
+class TestSymmetricQuotients:
+    def test_ring_collapses_to_one_class(self):
+        q = view_quotient(ring(8))
+        assert q.num_classes == 1
+        assert not q.is_discrete
+        assert q.lift_multiplicity() == [8]
+        # the single class loops to itself on both ports
+        assert q.transitions[0] == [(1, 0), (0, 0)]
+
+    def test_hypercube_one_class(self):
+        assert view_quotient(hypercube(3)).num_classes == 1
+
+    def test_torus_one_class(self):
+        assert view_quotient(grid_torus(3, 3)).num_classes == 1
+
+    def test_circulant_one_class(self):
+        assert view_quotient(circulant(9, [1, 2])).num_classes == 1
+
+    def test_clique_one_class(self):
+        assert view_quotient(clique(5)).num_classes == 1
+
+    def test_mirror_path_two_classes(self):
+        """A 4-path with mirror-symmetric ports: ends vs middles — the
+        smallest quotient with 2 classes."""
+        from repro.graphs import PortGraphBuilder
+
+        b = PortGraphBuilder(4)
+        b.add_edge(0, 0, 1, 0)
+        b.add_edge(1, 1, 2, 1)
+        b.add_edge(2, 0, 3, 0)
+        q = view_quotient(b.build())
+        assert q.num_classes == 2
+        assert sorted(q.lift_multiplicity()) == [2, 2]
+
+
+class TestFeasibleQuotients:
+    def test_feasible_graph_is_discrete(self):
+        g = cycle_with_leader_gadget(7)
+        q = view_quotient(g)
+        assert q.is_discrete
+        assert q.num_classes == g.n
+
+    def test_star_is_discrete(self):
+        # leaves distinguished by center-side port
+        assert view_quotient(star(4)).is_discrete
+
+    def test_discrete_iff_feasible(self):
+        for g in (ring(5), wheel(5), cycle_with_leader_gadget(5), star(3)):
+            assert view_quotient(g).is_discrete == is_feasible(g)
+
+
+class TestQuotientStructure:
+    def test_transitions_well_defined(self):
+        """Every class member induces the same (remote_port, class) row —
+        checked internally; here we assert classes partition the nodes."""
+        for g in (ring(9), wheel(7), grid_torus(3, 4)):
+            q = view_quotient(g)
+            all_nodes = sorted(v for cls in q.classes for v in cls)
+            assert all_nodes == list(g.nodes())
+            assert len(q.class_of) == g.n
+
+    def test_class_members_share_degree(self):
+        q = view_quotient(wheel(6))
+        g = wheel(6)
+        for cls in q.classes:
+            degrees = {g.degree(v) for v in cls}
+            assert len(degrees) == 1
+
+    def test_transition_reciprocity(self):
+        """Following port p from class c and then the recorded remote port
+        must lead back to c."""
+        q = view_quotient(grid_torus(3, 4))
+        for c, row in enumerate(q.transitions):
+            for p, (remote, target) in enumerate(row):
+                back_remote, back_target = q.transitions[target][remote]
+                assert back_remote == p
+                assert back_target == c

@@ -1,0 +1,78 @@
+"""Rendering helpers and the Theorem 4.2 counting additions."""
+
+import pytest
+
+from repro.graphs import lollipop, path_graph, ring
+from repro.lowerbounds import thm42_k_star, thm42_lower_bound_bits
+from repro.lowerbounds.families_t import index_b
+from repro.views import views_of_graph
+from repro.views.render import graph_to_dot, render_graph, render_view
+
+
+class TestRenderView:
+    def test_depth_zero(self):
+        v = views_of_graph(ring(5), 0)[0]
+        assert render_view(v) == "deg=2"
+
+    def test_depth_one_shows_ports(self):
+        v = views_of_graph(path_graph(3), 1)[1]  # the middle node
+        text = render_view(v)
+        assert "deg=2" in text
+        assert "(0->" in text and "(1->" in text
+        assert text.count("deg=1") == 2
+
+    def test_max_depth_elides(self):
+        v = views_of_graph(ring(6), 4)[0]
+        text = render_view(v, max_depth=1)
+        assert "..." in text
+        # full render of the same view is much longer
+        assert len(render_view(v)) > len(text)
+
+
+class TestRenderGraph:
+    def test_listing_complete(self):
+        g = lollipop(4, 2)
+        text = render_graph(g)
+        assert f"n={g.n}" in text
+        assert text.count("[deg") == g.n
+
+    def test_dot_has_all_edges(self):
+        g = ring(5)
+        dot = graph_to_dot(g)
+        assert dot.count(" -- ") == g.num_edges
+        assert dot.startswith("graph G {")
+        assert 'taillabel="0"' in dot
+
+
+class TestThm42Counting:
+    def test_k_star_definition(self):
+        alpha, c = 100, 2
+        k = thm42_k_star(alpha, c, part=1)
+        assert index_b(k, c, 1) <= alpha
+        assert index_b(k + 1, c, 1) > alpha
+
+    def test_part1_linear(self):
+        # B(k,2) = (c+2)k + 1 = 4k+1 -> k* ~ alpha/4
+        assert thm42_k_star(401, 2, part=1) == 100
+
+    def test_part2_logarithmic(self):
+        # B(k,2) = 4^k
+        assert thm42_k_star(4**5, 2, part=2) == 5
+
+    def test_forced_bits_grow_with_alpha(self):
+        bits = [
+            thm42_lower_bound_bits(a, part=1)["forced_bits"]
+            for a in (10, 10**3, 10**6)
+        ]
+        assert bits == sorted(bits)
+        assert bits[-1] > bits[0]
+
+    def test_ratio_bounded_part1(self):
+        d = thm42_lower_bound_bits(10**9, part=1)
+        assert 0.3 < d["ratio"] <= 1.5
+
+    def test_bad_part_rejected(self):
+        with pytest.raises(ValueError):
+            thm42_lower_bound_bits(100, part=7)
+        with pytest.raises(ValueError):
+            thm42_k_star(0, 2, 1)

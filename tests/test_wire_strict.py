@@ -1,0 +1,134 @@
+"""View wire format and byte-honest (strict) execution."""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_advice, verify_election
+from repro.core.elect import ElectAlgorithm
+from repro.core.generic import GenericAlgorithm
+from repro.errors import CodingError, SimulationError
+from repro.coding import Bits
+from repro.graphs import cycle_with_leader_gadget, lollipop, random_connected_graph, ring
+from repro.sim import run_sync
+from repro.sim.strict import WireWrapped, wire_wrapped
+from repro.views import election_index, is_feasible, views_of_graph
+from repro.views.wire import decode_view_wire, encode_view_wire
+
+
+class TestWireFormat:
+    def test_round_trip_reinterns(self):
+        """Decoding must return the *same interned object*."""
+        for g in (ring(6), lollipop(4, 2), cycle_with_leader_gadget(7)):
+            for depth in (0, 1, 3):
+                for v in set(views_of_graph(g, depth)):
+                    assert decode_view_wire(encode_view_wire(v)) is v
+
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_round_trip_random(self, n, extra, seed, depth):
+        g = random_connected_graph(n, extra_edges=extra, seed=seed)
+        for v in set(views_of_graph(g, depth)):
+            assert decode_view_wire(encode_view_wire(v)) is v
+
+    def test_wire_size_is_dag_not_tree(self):
+        """Deep symmetric views have tiny DAGs: the wire format must not
+        blow up exponentially."""
+        v = views_of_graph(ring(8), 6)[0]
+        wire = encode_view_wire(v)
+        assert len(wire) < 100 * (v.depth + 1)
+        assert v.tree_size() > 2**v.depth  # the tree *is* exponential
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CodingError):
+            decode_view_wire(Bits(""))
+        with pytest.raises(CodingError):
+            decode_view_wire(Bits("10"))
+
+    def test_forward_reference_rejected(self):
+        # hand-craft a record referencing itself
+        from repro.coding.concat import concat_bits
+        from repro.coding.integers import encode_uint
+
+        record = concat_bits(
+            [encode_uint(1), encode_uint(0), encode_uint(0)]
+        )  # degree 1, child ref 0 = itself
+        with pytest.raises(CodingError):
+            decode_view_wire(concat_bits([record]))
+
+
+class TestStrictExecution:
+    def test_elect_strict_equals_fast(self):
+        g = cycle_with_leader_gadget(6)
+        bundle = compute_advice(g)
+        fast = run_sync(g, ElectAlgorithm, advice=bundle.bits)
+        strict = run_sync(g, wire_wrapped(ElectAlgorithm), advice=bundle.bits)
+        assert strict.outputs == fast.outputs
+        assert strict.election_time == fast.election_time
+        assert verify_election(g, strict.outputs).leader == bundle.root
+
+    def test_generic_strict(self):
+        g = lollipop(4, 3)
+        phi = election_index(g)
+        fast = run_sync(g, lambda: GenericAlgorithm(phi))
+        strict = run_sync(g, wire_wrapped(lambda: GenericAlgorithm(phi)))
+        assert strict.outputs == fast.outputs
+
+    def test_bits_counted(self):
+        g = cycle_with_leader_gadget(6)
+        bundle = compute_advice(g)
+        instances = []
+
+        def factory():
+            w = WireWrapped(ElectAlgorithm())
+            instances.append(w)
+            return w
+
+        run_sync(g, factory, advice=bundle.bits)
+        assert all(w.bits_sent > 0 for w in instances)
+
+    def test_non_com_message_rejected(self):
+        class SendsInt:
+            def setup(self, ctx):
+                pass
+
+            def compose(self, ctx):
+                return {0: 42}
+
+            def deliver(self, ctx, inbox):
+                ctx.output(())
+
+        with pytest.raises(SimulationError):
+            run_sync(ring(4), wire_wrapped(SendsInt))
+
+    def test_mixed_peers_rejected(self):
+        """A strict node receiving raw (non-Bits) traffic must complain."""
+        g = ring(4)
+        bundleless = []
+
+        class RawCom:
+            def setup(self, ctx):
+                from repro.sim.com import ViewAccumulator
+
+                self.acc = ViewAccumulator(ctx.degree)
+
+            def compose(self, ctx):
+                return self.acc.outgoing()
+
+            def deliver(self, ctx, inbox):
+                ctx.output(())
+
+        toggle = [True]
+
+        def factory():
+            toggle[0] = not toggle[0]
+            return WireWrapped(RawCom()) if toggle[0] else RawCom()
+
+        with pytest.raises(SimulationError):
+            run_sync(g, factory, max_rounds=3)
