@@ -8,40 +8,42 @@ against the two baselines the paper discusses.
 
 All three elect in the same minimum time phi; the measured bits per
 scheme, across growing ring-of-cliques instances, regenerate the
-motivating comparison.  A second ablation re-runs Elect on the
-asynchronous engine, confirming the time-stamp simulation costs nothing
-in correctness or election time (only messages).
+motivating comparison — through the engine's ``ablation`` task, so the
+three-scheme measurement parallelizes over the corpus.  A second ablation
+re-runs Elect on the asynchronous engine, confirming the time-stamp
+simulation costs nothing in correctness or election time (only messages).
 """
 
 from repro.analysis import format_table
-from repro.baselines import run_map_based, run_naive_rank
-from repro.core import compute_advice, run_elect
+from repro.core import compute_advice
+from repro.engine import run_experiments
 from repro.lowerbounds import hk_graph
 
 from benchmarks.conftest import emit
 
 
 def test_table_ablation_schemes(benchmark):
-    rows = []
-    for k in (5, 8, 12, 16):
-        g = hk_graph(k)
-        trie = compute_advice(g).size_bits
-        map_bits = run_map_based(g).advice_bits
-        naive = run_naive_rank(g).advice_bits
-        rows.append((k, g.n, trie, map_bits, naive, round(naive / trie, 2)))
+    corpus = [(f"hk-{k}", hk_graph(k)) for k in (5, 8, 12, 16)]
+    records = run_experiments(corpus, task="ablation", chunk_size=2)
+    rows = [
+        (r["name"], r["n"], r["trie_bits"], r["map_bits"],
+         r["naive_rank_bits"], round(r["naive_over_trie"], 2))
+        for r in records
+    ]
     emit(
         "ablation_advice_schemes",
         "Ablation: advice bits per scheme (all elect in time phi = 1)",
         format_table(
-            ["k", "n", "trie (paper)", "full map", "naive rank", "naive/trie"],
+            ["graph", "n", "trie (paper)", "full map", "naive rank",
+             "naive/trie"],
             rows,
         ),
     )
     # the naive/trie ratio must grow with the instance (the quadratic gap)
-    assert rows[-1][-1] > rows[0][-1]
+    assert records[-1]["naive_over_trie"] > records[0]["naive_over_trie"]
 
-    g = hk_graph(8)
-    benchmark(lambda: run_naive_rank(g))
+    small = [("hk-8", hk_graph(8))]
+    benchmark(lambda: run_experiments(small, task="ablation"))
 
 
 def test_table_advice_breakdown(benchmark):

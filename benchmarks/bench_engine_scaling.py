@@ -1,13 +1,22 @@
-"""E-engine — simulator throughput: rounds/second and messages/second of
-the synchronous LOCAL engine under COM workloads, across topologies.
+"""E-engine — engine throughput, on both engines of the repository:
+
+* simulator throughput: rounds/second and messages/second of the
+  synchronous LOCAL engine under COM workloads, across topologies;
+* experiment-engine scaling: wall clock of the same Theorem 3.1 sweep at
+  1, 2 and 4 worker processes, with the determinism contract (parallel
+  records byte-identical to serial) asserted on every run.
 
 Not a paper table; this is the substrate-health bench that keeps the
-simulator honest as the library grows (the per-round cost must stay
-O(m) thanks to view interning)."""
+simulators honest as the library grows (the per-round cost must stay
+O(m) thanks to view interning, and the sweep must scale with cores)."""
+
+import time
 
 import pytest
 
 from repro.analysis import format_table
+from repro.analysis.sweep import corpus_with_phi
+from repro.engine import available_parallelism, records_to_jsonl, run_experiments
 from repro.graphs import grid_torus, random_regular, ring
 from repro.sim import ViewAccumulator, run_sync
 
@@ -58,3 +67,55 @@ def test_engine_summary_table(benchmark):
         format_table(["topology", "n", "m", "rounds", "messages"], rows),
     )
     benchmark(lambda: run_sync(ring(60), lambda: ComRounds(5)).rounds)
+
+
+# ----------------------------------------------------------------------
+# experiment-engine scaling: the parallel sweep
+# ----------------------------------------------------------------------
+def _large_corpus():
+    """The heaviest phi-controlled corpus the bench budget allows: the full
+    Theorem 3.1 pipeline takes seconds per entry at these sizes."""
+    return (
+        corpus_with_phi(1, sizes=(10, 12, 14, 16))
+        + corpus_with_phi(2, sizes=(6, 8, 10))
+        + corpus_with_phi(3, sizes=(6, 8))
+    )
+
+
+def test_experiment_engine_scaling(benchmark):
+    corpus = _large_corpus()
+    timings = {}
+    baseline = None
+    rows = []
+    for workers in (1, 2, 4):
+        start = time.perf_counter()
+        # chunk_size=1 keeps the chunks maximally balanced: the speedup
+        # bound is the heaviest single graph, not a lumpy chunk
+        records = run_experiments(
+            corpus, task="elect", workers=workers, chunk_size=1
+        )
+        elapsed = time.perf_counter() - start
+        timings[workers] = elapsed
+        if baseline is None:
+            baseline = records
+        else:
+            # the determinism contract, asserted at bench scale
+            assert records_to_jsonl(records) == records_to_jsonl(baseline)
+        rows.append(
+            (workers, len(corpus), round(elapsed, 2),
+             round(timings[1] / elapsed, 2))
+        )
+    emit(
+        "experiment_engine_scaling",
+        f"Experiment engine: Theorem 3.1 sweep wall clock "
+        f"({len(corpus)} graphs, {available_parallelism()} CPUs available)",
+        format_table(["workers", "graphs", "seconds", "speedup vs serial"], rows),
+    )
+    if available_parallelism() >= 4:
+        assert timings[1] / timings[4] >= 2.0, (
+            f"4-worker sweep only {timings[1] / timings[4]:.2f}x faster than "
+            f"serial on {available_parallelism()} CPUs"
+        )
+
+    small = corpus_with_phi(1, sizes=(6, 8))
+    benchmark(lambda: len(run_experiments(small, task="elect", workers=2)))

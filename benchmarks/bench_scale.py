@@ -5,55 +5,60 @@ the O(n log n) envelope and the oracle's near-linear running time hold as
 n grows by two orders of magnitude, and that the end-to-end simulation
 (n nodes exchanging views) stays tractable.  The normalized constant
 bits/(n lg n) must be non-increasing with n (convergence toward the
-asymptotic constant)."""
+asymptotic constant).
+
+Both sweeps run through :mod:`repro.engine` (the ``advice`` and ``elect``
+tasks), so the per-chunk view-cache lifecycle bounds memory even at the
+largest instances, and extra workers can be thrown at the corpus with
+``run_experiments(..., workers=N)`` without changing a single record."""
 
 from repro.analysis import format_table
-from repro.core import compute_advice, run_elect
+from repro.core import run_elect
+from repro.engine import run_experiments
 from repro.lowerbounds import hk_graph, necklace
 
 from benchmarks.conftest import emit
 
 
 def test_scale_advice(benchmark):
-    rows = []
-    ratios = []
-    for k in (16, 64, 256):
-        g = hk_graph(k)
-        bundle = compute_advice(g)
-        ratio = bundle.size_bits / (g.n * max(1, (g.n).bit_length()))
-        ratios.append(ratio)
-        rows.append((f"hk-{k}", g.n, g.num_edges, bundle.size_bits, round(ratio, 2)))
-    for k, phi in ((32, 2), (64, 3)):
-        g = necklace(k, phi, x=4)
-        bundle = compute_advice(g)
-        ratio = bundle.size_bits / (g.n * max(1, (g.n).bit_length()))
-        rows.append(
-            (f"necklace-{k}-phi{phi}", g.n, g.num_edges, bundle.size_bits,
-             round(ratio, 2))
-        )
+    corpus = [(f"hk-{k}", hk_graph(k)) for k in (16, 64, 256)] + [
+        (f"necklace-{k}-phi{phi}", necklace(k, phi, x=4))
+        for k, phi in ((32, 2), (64, 3))
+    ]
+    records = run_experiments(corpus, task="advice", chunk_size=1)
+    rows = [
+        (r["name"], r["n"], r["m"], r["advice_bits"],
+         round(r["bits_per_n_bitlength"], 2))
+        for r in records
+    ]
     emit(
         "scale_advice",
         "Scale: ComputeAdvice at four-digit n (envelope constant must not "
         "grow)",
         format_table(["graph", "n", "m", "advice bits", "bits/(n lg n)"], rows),
     )
+    ratios = [r["bits_per_n_bitlength"] for r in records[:3]]
     assert ratios == sorted(ratios, reverse=True)
 
-    benchmark(lambda: compute_advice(hk_graph(64)).size_bits)
+    small = [("hk-64", hk_graph(64))]
+    benchmark(
+        lambda: run_experiments(small, task="advice")[0]["advice_bits"]
+    )
 
 
 def test_scale_end_to_end(benchmark):
     """Full oracle + n-node simulation + verification at n ≈ 500."""
     g = hk_graph(100)
-    rec = run_elect(g)
-    assert rec.n == g.n and rec.election_time == rec.phi
+    records = run_experiments([("hk-100", g)], task="elect", chunk_size=1)
+    rec = records[0]
+    assert rec["n"] == g.n and rec["election_time"] == rec["phi"]
     emit(
         "scale_end_to_end",
         "Scale: full Elect pipeline",
         format_table(
             ["n", "phi", "advice bits", "time", "messages"],
-            [(rec.n, rec.phi, rec.advice_bits, rec.election_time,
-              rec.total_messages)],
+            [(rec["n"], rec["phi"], rec["advice_bits"], rec["election_time"],
+              rec["total_messages"])],
         ),
     )
 

@@ -1,6 +1,31 @@
-"""Shim for legacy editable installs (offline environments without the
-`wheel` package).  All real metadata lives in pyproject.toml."""
+"""Packaging for the repro library (src/ layout).
 
-from setuptools import setup
+Metadata is declared here rather than in a ``[project]`` table so that
+editable installs work on old setuptools too (offline environments
+without ``wheel``); ``pyproject.toml`` carries only the build-system
+pin.  After ``pip install -e .`` the package imports without manual
+``PYTHONPATH`` and the CLI is available as ``repro`` (equivalent to
+``python -m repro``).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-election-advice",
+    version="0.2.0",
+    description=(
+        "Reproduction of Dieudonné & Pelc, 'Impact of Knowledge on Election "
+        "Time in Anonymous Networks' (SPAA 2017): leader election with "
+        "advice, lower-bound constructions, and a parallel experiment engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    extras_require={
+        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

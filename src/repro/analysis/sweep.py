@@ -6,16 +6,16 @@ end-to-end measurement loop used by the benches.
 (necklaces for phi >= 2, ring-of-cliques members for phi = 1 — the paper's
 own constructions double as the cleanest phi-controlled workload
 generators).  ``sweep_elect`` runs the full Theorem 3.1 pipeline over a
-corpus and reports advice size against the n log n envelope.
+corpus — through :mod:`repro.engine`, optionally across worker processes —
+and reports advice size against the n log n envelope.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.elect import run_elect
+from repro.engine import run_experiments
 from repro.graphs.generators import (
     cycle_with_leader_gadget,
     lollipop,
@@ -72,24 +72,32 @@ def corpus_with_phi(
 
 
 def sweep_elect(
-    corpus: Sequence[Tuple[str, PortGraph]]
+    corpus: Sequence[Tuple[str, PortGraph]],
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
 ) -> List[SweepRecord]:
-    """Run the Theorem 3.1 pipeline over a corpus."""
-    records: List[SweepRecord] = []
-    for name, g in corpus:
-        rec = run_elect(g)
-        envelope = g.n * max(1.0, math.log2(g.n))
-        records.append(
-            SweepRecord(
-                name=name,
-                n=g.n,
-                phi=rec.phi,
-                advice_bits=rec.advice_bits,
-                election_time=rec.election_time,
-                bits_per_nlogn=rec.advice_bits / envelope,
-            )
+    """Run the Theorem 3.1 pipeline over a corpus.
+
+    Delegates to the experiment engine: with ``workers > 1`` the corpus is
+    fanned out to worker processes, with results guaranteed
+    record-for-record identical to the serial run (the engine's
+    determinism contract).  ``chunk_size`` bounds the per-process view
+    intern table; ``None`` picks a load-balanced default.
+    """
+    records = run_experiments(
+        corpus, task="elect", workers=workers, chunk_size=chunk_size
+    )
+    return [
+        SweepRecord(
+            name=r["name"],
+            n=r["n"],
+            phi=r["phi"],
+            advice_bits=r["advice_bits"],
+            election_time=r["election_time"],
+            bits_per_nlogn=r["bits_per_nlogn"],
         )
-    return records
+        for r in records
+    ]
 
 
 def fit_ratio(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:

@@ -10,6 +10,9 @@ Commands
     The advice-vs-time table across all milestones.
 ``quotient SPEC``
     The view quotient (what symmetry remains).
+``sweep [--corpus C] [--task T] [--workers N] [--chunk-size K]``
+    Run an experiment sweep through the parallel engine; ``--json FILE``
+    dumps the canonical JSON-lines records.
 ``report [--out FILE]``
     Regenerate the small-scale experiment report (markdown).
 
@@ -84,11 +87,16 @@ def parse_graph_spec(spec: str) -> PortGraph:
             token = token.strip()
             if not token:
                 continue
-            if "=" in token:
-                key, _, value = token.partition("=")
-                kwargs[key.strip()] = int(value)
-            else:
-                args.append(int(token))
+            try:
+                if "=" in token:
+                    key, _, value = token.partition("=")
+                    kwargs[key.strip()] = int(value)
+                else:
+                    args.append(int(token))
+            except ValueError:
+                raise ReproError(
+                    f"graph spec '{spec}': argument '{token}' is not an integer"
+                ) from None
     return GENERATORS[name](*args, **kwargs)
 
 
@@ -153,6 +161,72 @@ def _cmd_quotient(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_corpus_spec(spec: str) -> List:
+    """Parse a corpus SPEC into ``[(name, graph), ...]``.
+
+    ``default`` or ``default:MAX_N``
+        The mixed feasible corpus of :func:`corpus_default`.
+    ``phi:PHI`` or ``phi:PHI:k1,k2,...``
+        Graphs of prescribed election index (:func:`corpus_with_phi`).
+    ``SPEC`` (anything else)
+        A single graph spec as accepted by :func:`parse_graph_spec`.
+    """
+    from repro.analysis.sweep import corpus_default, corpus_with_phi
+
+    head, _, rest = spec.partition(":")
+    try:
+        if head == "default":
+            return corpus_default(int(rest)) if rest else corpus_default()
+        if head == "phi":
+            phi_text, _, sizes_text = rest.partition(":")
+            if not phi_text:
+                raise ReproError("corpus spec 'phi' needs a value, e.g. phi:2")
+            phi = int(phi_text)
+            if sizes_text:
+                sizes = tuple(
+                    int(s) for s in sizes_text.split(",") if s.strip()
+                )
+                return corpus_with_phi(phi, sizes=sizes)
+            return corpus_with_phi(phi)
+    except ValueError:
+        raise ReproError(
+            f"corpus spec '{spec}': arguments must be integers"
+        ) from None
+    return [(spec, parse_graph_spec(spec))]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.engine import records_table, records_to_jsonl, run_experiments
+
+    corpus = parse_corpus_spec(args.corpus)
+    if not corpus:
+        raise ReproError(f"corpus spec '{args.corpus}' produced no graphs")
+    records = run_experiments(
+        corpus,
+        task=args.task,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    # nested fields (e.g. the per-algorithm list of the `messages` task)
+    # only render usefully in the JSON output, not in a fixed-width table
+    scalar_keys = {
+        key
+        for r in records
+        for key, value in r.items()
+        if not isinstance(value, (list, dict))
+    }
+    columns = ["name"] + sorted(scalar_keys - {"task", "name"})
+    print(f"task = {args.task}, corpus = {args.corpus} "
+          f"({len(corpus)} graphs), workers = {args.workers}")
+    print(format_table(columns, records_table(records, columns)))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(records_to_jsonl(records))
+        print(f"records written to {args.json_out}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -191,6 +265,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quotient", help="view quotient / symmetry diagnosis")
     p.add_argument("spec")
     p.set_defaults(func=_cmd_quotient)
+
+    p = sub.add_parser(
+        "sweep", help="run an experiment sweep through the parallel engine"
+    )
+    p.add_argument(
+        "--corpus", default="default",
+        help="default[:MAX_N], phi:PHI[:k1,k2,...], or a single graph spec",
+    )
+    p.add_argument(
+        "--task", default="elect",
+        help="engine task: elect, advice, index, messages, ablation",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial; results are identical either way)",
+    )
+    p.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="corpus entries per chunk (the view-cache lifetime)",
+    )
+    p.add_argument(
+        "--json", dest="json_out", default=None,
+        help="also write canonical JSON-lines records to this file",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("report", help="regenerate the experiment report")
     p.add_argument("--out", default=None, help="write markdown to this file")

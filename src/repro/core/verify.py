@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.errors import ElectionFailure, GraphStructureError
+from repro.errors import ElectionFailure, GraphError
 from repro.graphs.port_graph import PortGraph
 
 
@@ -55,9 +55,11 @@ def verify_election(g: PortGraph, outputs: Dict[int, Sequence[int]]) -> Election
         pairs = _as_port_pairs(outputs[v])
         try:
             visited = g.follow_port_path(v, pairs)
-        except (GraphStructureError, Exception) as exc:
-            if not isinstance(exc, GraphStructureError):
-                raise
+        except GraphError as exc:
+            # GraphStructureError: a remote port mismatches; PortNumberingError:
+            # the output names a port the node does not have.  Either way the
+            # coded path does not exist in the graph — a verification failure,
+            # never a crash.
             raise ElectionFailure(
                 f"output of node {v} is not a path in the graph: {exc}"
             ) from exc

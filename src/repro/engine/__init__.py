@@ -1,0 +1,55 @@
+"""The parallel experiment engine.
+
+Every sweep and bench in this repository is embarrassingly parallel over
+its corpus — each ``(name, graph)`` entry is measured independently — but
+the measurement loop was historically serial and grew the global view
+intern table without bound.  This package provides the shared engine:
+
+* :func:`run_experiments` — fan a corpus out to worker processes in
+  deterministic chunks; results are record-for-record identical to a
+  serial run (see :mod:`repro.engine.engine` for the contract);
+* :mod:`repro.engine.tasks` — the registry of named experiments (``elect``,
+  ``advice``, ``index``, ``messages``, ``ablation``); workers receive task
+  *names*, never closures;
+* :mod:`repro.engine.records` — the JSON record schema and canonical
+  serialization (documented in ``benchmarks/README.md``).
+
+Consumers: ``repro.analysis.sweep.sweep_elect(..., workers=N)``, the
+``repro sweep`` CLI command, and the heavy benches under ``benchmarks/``.
+"""
+
+from repro.engine.engine import (
+    EngineConfig,
+    EngineError,
+    available_parallelism,
+    chunk_corpus,
+    default_chunk_size,
+    run,
+    run_experiments,
+)
+from repro.engine.records import (
+    Record,
+    record_to_json,
+    records_from_jsonl,
+    records_table,
+    records_to_jsonl,
+)
+from repro.engine.tasks import TASKS, get_task, register_task
+
+__all__ = [
+    "EngineConfig",
+    "EngineError",
+    "available_parallelism",
+    "chunk_corpus",
+    "default_chunk_size",
+    "run",
+    "run_experiments",
+    "Record",
+    "record_to_json",
+    "records_to_jsonl",
+    "records_from_jsonl",
+    "records_table",
+    "TASKS",
+    "get_task",
+    "register_task",
+]

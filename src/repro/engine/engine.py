@@ -1,0 +1,185 @@
+"""The batched multi-process experiment engine.
+
+``run_experiments`` fans a corpus ``[(name, graph), ...]`` out to worker
+processes in deterministic chunks and returns one JSON record per corpus
+entry, in corpus order, *record-for-record identical* to a serial run.
+The guarantees, and how they are met:
+
+Determinism
+    Tasks are pure functions of the graph (no global RNG), chunking is a
+    pure function of ``(len(corpus), chunk_size)``, every item carries its
+    corpus position, and the aggregator re-sorts by position.  Worker
+    scheduling therefore cannot reorder or alter results, and
+    ``workers=4`` output is byte-identical (under the canonical JSON of
+    :mod:`repro.engine.records`) to ``workers=1`` output.
+
+Bounded view caches
+    The view intern table (:mod:`repro.views.view`) is process-local and
+    grows monotonically.  Workers — and the serial path, which runs the
+    exact same chunk runner — call
+    :func:`~repro.views.view.clear_view_caches` after every chunk, so the
+    table is bounded by the largest chunk instead of the whole sweep.
+    Records are plain dicts, so no view from a cleared table ever escapes
+    a chunk.
+
+Transport
+    Graphs cross the process boundary as their canonical JSON
+    (:func:`repro.graphs.serialization.to_json`), which round-trips
+    exactly, including port numbers; tasks cross as registry names
+    (:mod:`repro.engine.tasks`).  Nothing unpicklable is ever shipped.
+
+The start method prefers ``fork`` (cheap on Linux) and falls back to the
+platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.records import Record
+from repro.engine.tasks import get_task
+from repro.errors import EngineError
+from repro.graphs.port_graph import PortGraph
+from repro.graphs.serialization import from_json, to_json
+
+# (corpus position, name, canonical graph JSON)
+_ChunkItem = Tuple[int, str, str]
+# (task name, chunk, clear_caches flag)
+_ChunkPayload = Tuple[str, List[_ChunkItem], bool]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of one engine run.
+
+    ``workers``
+        Number of worker processes; ``1`` (the default) runs in-process
+        through the identical chunk runner.
+    ``chunk_size``
+        Corpus entries per chunk — the view-cache lifetime and the unit of
+        work stealing.  ``None`` picks :func:`default_chunk_size`.
+    ``clear_caches``
+        Call ``clear_view_caches()`` after each chunk (on by default;
+        disable only for single-shot micro-benchmarks that want warm
+        caches).
+    """
+
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    clear_caches: bool = True
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise EngineError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+
+def default_chunk_size(num_items: int, workers: int) -> int:
+    """Four chunks per worker: large enough to amortize the per-chunk graph
+    decode and cache rebuild, small enough to balance load and bound the
+    intern table."""
+    if workers <= 1:
+        return max(1, min(8, num_items))
+    return max(1, math.ceil(num_items / (4 * workers)))
+
+
+def chunk_corpus(
+    corpus: Sequence[Tuple[str, PortGraph]], chunk_size: int
+) -> List[List[_ChunkItem]]:
+    """Deterministically split a corpus into position-tagged, JSON-encoded
+    chunks of at most ``chunk_size`` entries, in corpus order."""
+    items: List[_ChunkItem] = [
+        (pos, name, to_json(g)) for pos, (name, g) in enumerate(corpus)
+    ]
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
+    """Process one chunk (runs in a worker, or inline when serial): decode
+    each graph, apply the task, and drop the process-local view caches so
+    the intern table stays bounded by the chunk."""
+    task_name, chunk, clear_caches = payload
+    task = get_task(task_name)
+    out: List[Tuple[int, Record]] = []
+    try:
+        for pos, name, graph_json in chunk:
+            out.append((pos, task(name, from_json(graph_json))))
+    finally:
+        if clear_caches:
+            from repro.views.view import clear_view_caches
+
+            clear_view_caches()
+    return out
+
+
+def run_experiments(
+    corpus: Sequence[Tuple[str, PortGraph]],
+    task: str = "elect",
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    clear_caches: bool = True,
+) -> List[Record]:
+    """Run ``task`` over every corpus entry; return records in corpus order.
+
+    The convenience wrapper over :class:`EngineConfig` + :func:`run`."""
+    return run(
+        corpus,
+        task,
+        EngineConfig(
+            workers=workers, chunk_size=chunk_size, clear_caches=clear_caches
+        ),
+    )
+
+
+def run(
+    corpus: Sequence[Tuple[str, PortGraph]],
+    task: str,
+    config: EngineConfig,
+) -> List[Record]:
+    """Run ``task`` over ``corpus`` under ``config``; see the module
+    docstring for the determinism and cache-lifecycle contract."""
+    get_task(task)  # fail fast on unknown tasks, before any forking
+    if not corpus:
+        return []
+    chunk_size = (
+        config.chunk_size
+        if config.chunk_size is not None
+        else default_chunk_size(len(corpus), config.workers)
+    )
+    chunks = chunk_corpus(corpus, chunk_size)
+    payloads: List[_ChunkPayload] = [
+        (task, chunk, config.clear_caches) for chunk in chunks
+    ]
+
+    if config.workers == 1 or len(chunks) == 1:
+        chunk_results = [_run_chunk(p) for p in payloads]
+    else:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        procs = min(config.workers, len(chunks))
+        with ctx.Pool(processes=procs) as pool:
+            chunk_results = pool.map(_run_chunk, payloads)
+
+    tagged = [pair for chunk in chunk_results for pair in chunk]
+    tagged.sort(key=lambda pair: pair[0])
+    return [record for _, record in tagged]
+
+
+def available_parallelism() -> int:
+    """Usable CPU count (for benches that scale assertions to hardware);
+    respects CPU affinity masks, which os.cpu_count() ignores."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1

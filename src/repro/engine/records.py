@@ -1,0 +1,53 @@
+"""The engine's result records: plain JSON-stable dicts.
+
+Worker processes cannot ship :class:`~repro.views.view.View` objects or
+other interned structures back to the parent (interning is process-local
+and views are deliberately unpicklable), so every task returns a *record*:
+a flat dict of JSON scalars.  Records are the engine's only output format;
+``analysis/sweep.py`` lifts them back into :class:`SweepRecord` and the
+benches feed them straight to ``analysis/tables.py``.
+
+Common keys (every record):
+
+``task``
+    The task name (see :mod:`repro.engine.tasks`).
+``name``
+    The corpus entry's name.
+``n``
+    Number of nodes of the graph.
+
+Serialization is canonical — ``sort_keys`` and compact separators — so
+"parallel equals serial" can be asserted byte-for-byte on the JSON text,
+not just on Python equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+Record = Dict[str, Any]
+
+
+def record_to_json(record: Record) -> str:
+    """Canonical one-line JSON of a single record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def records_to_jsonl(records: Sequence[Record]) -> str:
+    """Canonical JSON-lines text: one record per line, stable ordering."""
+    return "".join(record_to_json(r) + "\n" for r in records)
+
+
+def records_from_jsonl(text: str) -> List[Record]:
+    """Inverse of :func:`records_to_jsonl`."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def records_table(
+    records: Sequence[Record], columns: Sequence[str]
+) -> List[Tuple[Any, ...]]:
+    """Project records onto ``columns`` as rows for
+    :func:`repro.analysis.tables.format_table` (missing keys render as
+    ``-``)."""
+    return [tuple(r.get(c, "-") for c in columns) for r in records]

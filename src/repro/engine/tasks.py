@@ -1,0 +1,177 @@
+"""The engine's task registry: named, picklable-by-reference experiments.
+
+A *task* maps one corpus entry ``(name, graph)`` to one JSON record (see
+:mod:`repro.engine.records`).  Tasks are registered under a string name so
+a worker process only ever receives the name over the pipe and resolves
+the callable from its own copy of this module — functions stay picklable
+by reference under both fork and spawn start methods.
+
+Tasks must be pure functions of the graph: no global RNG, no dependence
+on interning state beyond the current process.  This is what makes
+parallel runs record-for-record identical to serial runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.engine.records import Record
+from repro.errors import EngineError
+from repro.graphs.port_graph import PortGraph
+
+TaskFn = Callable[[str, PortGraph], Record]
+
+TASKS: Dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Decorator: register a task function under ``name``."""
+
+    def deco(fn: TaskFn) -> TaskFn:
+        if name in TASKS:
+            raise ValueError(f"task '{name}' is already registered")
+        TASKS[name] = fn
+        return fn
+
+    return deco
+
+
+def get_task(name: str) -> TaskFn:
+    """Resolve a task name; raise with the list of known names."""
+    try:
+        return TASKS[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine task '{name}'; known: {', '.join(sorted(TASKS))}"
+        ) from None
+
+
+def _nlogn_envelope(n: int) -> float:
+    return n * max(1.0, math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# the built-in tasks
+# ----------------------------------------------------------------------
+@register_task("elect")
+def elect_task(name: str, g: PortGraph) -> Record:
+    """Full Theorem 3.1 pipeline: ComputeAdvice -> simulate Elect ->
+    verify.  The record superset of :class:`repro.analysis.sweep.SweepRecord`."""
+    from repro.core.elect import run_elect
+
+    rec = run_elect(g)
+    return {
+        "task": "elect",
+        "name": name,
+        "n": g.n,
+        "phi": rec.phi,
+        "advice_bits": rec.advice_bits,
+        "election_time": rec.election_time,
+        "leader": rec.leader,
+        "total_messages": rec.total_messages,
+        "bits_per_nlogn": rec.advice_bits / _nlogn_envelope(g.n),
+    }
+
+
+@register_task("advice")
+def advice_task(name: str, g: PortGraph) -> Record:
+    """Oracle only: ComputeAdvice size accounting (no simulation)."""
+    from repro.core.advice import compute_advice
+
+    bundle = compute_advice(g)
+    return {
+        "task": "advice",
+        "name": name,
+        "n": g.n,
+        "m": g.num_edges,
+        "phi": bundle.phi,
+        "advice_bits": bundle.size_bits,
+        "bits_per_nlogn": bundle.size_bits / _nlogn_envelope(g.n),
+        "bits_per_n_bitlength": bundle.size_bits / (g.n * max(1, g.n.bit_length())),
+    }
+
+
+@register_task("index")
+def index_task(name: str, g: PortGraph) -> Record:
+    """Feasibility and election index (array fast path, no simulation)."""
+    from repro.views.refinement import stable_partition
+
+    stable = stable_partition(g)
+    return {
+        "task": "index",
+        "name": name,
+        "n": g.n,
+        "m": g.num_edges,
+        "feasible": stable.discrete,
+        "phi": stable.depth if stable.discrete else None,
+        "num_classes": stable.num_classes,
+        "stabilization_depth": stable.depth,
+    }
+
+
+@register_task("messages")
+def messages_task(name: str, g: PortGraph) -> Record:
+    """Traced message complexity of the three upper-bound algorithms on one
+    graph: Elect (time phi), Election1 (time <= D+phi+c), KnownDPhi (time
+    D+phi).  Each algorithm contributes a sub-record under ``algorithms``."""
+    from repro.core.advice import compute_advice
+    from repro.core.elect import ElectAlgorithm
+    from repro.core.elections import election_advice, make_election_algorithm
+    from repro.core.known_d_phi import KnownDPhiAlgorithm, known_d_phi_advice
+    from repro.sim import run_sync
+    from repro.sim.trace import Tracer
+
+    bundle = compute_advice(g)
+    d = g.diameter()
+    algorithms = []
+    for algo_name, factory, advice in (
+        ("elect", ElectAlgorithm, bundle.bits),
+        ("election1", make_election_algorithm(1), election_advice(bundle.phi, 1)),
+        ("known_d_phi", KnownDPhiAlgorithm, known_d_phi_advice(d, bundle.phi)),
+    ):
+        tracer = Tracer()
+        result = run_sync(
+            g, factory, advice=advice, tracer=tracer, max_rounds=200
+        )
+        summary = tracer.summary()
+        algorithms.append(
+            {
+                "algorithm": algo_name,
+                "advice_bits": len(advice),
+                "rounds": result.election_time,
+                "messages": summary["messages"],
+                "cost_dag_nodes": summary["cost_dag_nodes"],
+                "max_view_depth": summary["max_view_depth"],
+            }
+        )
+    return {
+        "task": "messages",
+        "name": name,
+        "n": g.n,
+        "phi": bundle.phi,
+        "diameter": d,
+        "algorithms": algorithms,
+    }
+
+
+@register_task("ablation")
+def ablation_task(name: str, g: PortGraph) -> Record:
+    """Advice bits per scheme: the paper's trie advice against the full-map
+    and naive-rank baselines (all electing in minimum time phi)."""
+    from repro.baselines import run_map_based, run_naive_rank
+    from repro.core.advice import compute_advice
+
+    bundle = compute_advice(g)
+    map_bits = run_map_based(g).advice_bits
+    naive_bits = run_naive_rank(g).advice_bits
+    return {
+        "task": "ablation",
+        "name": name,
+        "n": g.n,
+        "phi": bundle.phi,
+        "trie_bits": bundle.size_bits,
+        "map_bits": map_bits,
+        "naive_rank_bits": naive_bits,
+        "naive_over_trie": naive_bits / bundle.size_bits,
+    }

@@ -43,6 +43,11 @@ class AdviceError(ReproError):
     """Advice construction or consumption failed (oracle/algorithm mismatch)."""
 
 
+class EngineError(ReproError):
+    """The experiment engine was misconfigured (unknown task, bad worker or
+    chunk configuration) or a worker failed."""
+
+
 class SimulationError(ReproError):
     """The distributed simulation reached an invalid state."""
 

@@ -14,6 +14,9 @@ classical degree/port refinement, with total cost O(depth * m).
 Key entry points:
 
 * :func:`views_of_graph` / :func:`view_levels` — B^l for all nodes;
+* :func:`refinement_levels` / :func:`stable_partition` — the same
+  refinement on plain class-ID arrays (no View allocation): the fast path
+  behind :func:`election_index` and :func:`view_quotient`;
 * :func:`election_index` / :func:`is_feasible` — the paper's phi(G);
 * :func:`view_compare` / :func:`view_sort_key` — the fixed canonical total
   order standing in for "lexicographic order of bin(B)" (see DESIGN.md);
@@ -42,6 +45,11 @@ from repro.views.election_index import (
 )
 from repro.views.pruned import materialize_pruned_view
 from repro.views.quotient import ViewQuotient, view_quotient
+from repro.views.refinement import (
+    StablePartition,
+    refinement_levels,
+    stable_partition,
+)
 from repro.views.wire import decode_view_wire, encode_view_wire
 
 __all__ = [
@@ -63,6 +71,9 @@ __all__ = [
     "materialize_pruned_view",
     "ViewQuotient",
     "view_quotient",
+    "StablePartition",
+    "refinement_levels",
+    "stable_partition",
     "encode_view_wire",
     "decode_view_wire",
 ]

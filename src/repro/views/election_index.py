@@ -15,7 +15,12 @@ classes).  So:
 * if the partition becomes discrete (n classes) at level l, phi = l;
 * if it stabilizes before becoming discrete, the graph is infeasible.
 
-Total cost O(phi * m) plus interning overhead.
+The refinement itself runs on the array fast path of
+:mod:`repro.views.refinement` — class IDs only, no :class:`View`
+allocation — since phi and feasibility consume nothing but the induced
+partitions.  Total cost O(phi * m) with no interning overhead;
+:func:`view_classes` still materializes real views for callers that need
+them.
 """
 
 from __future__ import annotations
@@ -24,7 +29,8 @@ from typing import Dict, List, Tuple
 
 from repro.errors import InfeasibleGraphError
 from repro.graphs.port_graph import PortGraph
-from repro.views.view import View, view_levels
+from repro.views.refinement import refinement_levels
+from repro.views.view import View
 
 
 def _partition_signature(level: List[View]) -> Tuple[int, ...]:
@@ -45,8 +51,7 @@ def view_partition_trace(
     becomes discrete (whichever first), capped at ``max_depth`` levels."""
     trace: List[Tuple[int, int]] = []
     prev_sig = None
-    for depth, level in enumerate(view_levels(g, max_depth=max_depth)):
-        sig = _partition_signature(level)
+    for depth, sig in enumerate(refinement_levels(g, max_depth=max_depth)):
         trace.append((depth, len(set(sig))))
         if len(set(sig)) == g.n or sig == prev_sig:
             break
@@ -58,8 +63,7 @@ def election_index(g: PortGraph) -> int:
     """phi(G): minimum depth at which all augmented truncated views are
     distinct.  Raises :class:`InfeasibleGraphError` for infeasible graphs."""
     prev_sig = None
-    for depth, level in enumerate(view_levels(g)):
-        sig = _partition_signature(level)
+    for depth, sig in enumerate(refinement_levels(g)):
         num_classes = len(set(sig))
         if num_classes == g.n:
             return depth

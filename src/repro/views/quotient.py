@@ -15,10 +15,10 @@ quotient.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.graphs.port_graph import PortGraph
-from repro.views.view import View, view_levels
+from repro.views.refinement import stable_partition
 
 
 @dataclass
@@ -60,25 +60,14 @@ class ViewQuotient:
 
 
 def view_quotient(g: PortGraph) -> ViewQuotient:
-    """Compute the stabilized view partition and its quotient structure."""
-    prev_sig = None
-    depth = 0
-    level: List[View] = []
-    for depth, level in enumerate(view_levels(g)):
-        sig = _signature(level)
-        if sig == prev_sig or len(set(sig)) == g.n:
-            break
-        prev_sig = sig
+    """Compute the stabilized view partition and its quotient structure.
 
-    class_of_view: Dict[View, int] = {}
-    class_of: List[int] = []
-    classes: List[List[int]] = []
-    for v, view in enumerate(level):
-        if view not in class_of_view:
-            class_of_view[view] = len(classes)
-            classes.append([])
-        idx = class_of_view[view]
-        class_of.append(idx)
+    Runs on the array refinement fast path (:mod:`repro.views.refinement`):
+    the quotient needs only class IDs, never view trees."""
+    stable = stable_partition(g)
+    class_of = list(stable.signature)
+    classes: List[List[int]] = [[] for _ in range(stable.num_classes)]
+    for v, idx in enumerate(class_of):
         classes[idx].append(v)
 
     transitions: List[List[Tuple[int, int]]] = []
@@ -105,15 +94,5 @@ def view_quotient(g: PortGraph) -> ViewQuotient:
         class_of=class_of,
         classes=classes,
         transitions=transitions,
-        stabilization_depth=depth,
+        stabilization_depth=stable.depth,
     )
-
-
-def _signature(level: List[View]) -> Tuple[int, ...]:
-    seen: Dict[View, int] = {}
-    out = []
-    for v in level:
-        if v not in seen:
-            seen[v] = len(seen)
-        out.append(seen[v])
-    return tuple(out)

@@ -1,0 +1,116 @@
+"""Array-based view refinement: the hot path of phi and the quotient.
+
+:func:`view_levels` materializes one interned :class:`~repro.views.view.View`
+per node per depth, which is the right representation when the views
+themselves are needed (COM, tries, fooling pairs).  But
+:func:`~repro.views.election_index.election_index` and
+:func:`~repro.views.quotient.view_quotient` only consume the *partition*
+each level induces — the class ID of every node — so allocating and
+interning view objects there is pure overhead, and it grows the global
+intern table that :func:`~repro.views.view.clear_view_caches` must later
+drop.
+
+This module runs the identical degree/port refinement on plain integer
+arrays.  Level 0 groups nodes by degree; level l+1 groups them by
+``(degree, ((q_0, class_l(u_0)), ..., (q_{d-1}, class_l(u_{d-1}))))`` —
+exactly the key of ``View.make`` with child views replaced by their class
+IDs.  Classes are numbered by first occurrence in node order, which makes
+every signature *equal as a tuple* to the one induced by the interned
+views (an induction mirroring the one in ``views/view.py``).  The parity
+is locked in by ``tests/test_views_refinement.py``.
+
+Cost: O(phi * m) key material and zero View allocations; no global state,
+so nothing for :func:`clear_view_caches` to track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.port_graph import PortGraph
+
+Signature = Tuple[int, ...]
+
+
+def _renumber(keys: List) -> Signature:
+    """Class ID per node, classes numbered by first occurrence."""
+    class_of: Dict = {}
+    sig: List[int] = []
+    for key in keys:
+        idx = class_of.get(key)
+        if idx is None:
+            idx = len(class_of)
+            class_of[key] = idx
+        sig.append(idx)
+    return tuple(sig)
+
+
+def refinement_levels(
+    g: PortGraph, max_depth: Optional[int] = None
+) -> Iterator[Signature]:
+    """Yield, for depth l = 0, 1, 2, ..., the class-ID signature of the
+    depth-l view partition — tuple-equal to numbering the views of
+    :func:`~repro.views.view.view_levels` by first occurrence.
+
+    Stops after ``max_depth`` levels if given, otherwise iterates forever
+    (callers break on their own condition, e.g. stabilization)."""
+    sig = _renumber([g.degree(v) for v in g.nodes()])
+    depth = 0
+    yield sig
+    while max_depth is None or depth < max_depth:
+        keys = [
+            (g.degree(v), tuple((q, sig[u]) for (u, q) in g.ports(v)))
+            for v in g.nodes()
+        ]
+        sig = _renumber(keys)
+        depth += 1
+        yield sig
+
+
+@dataclass(frozen=True)
+class StablePartition:
+    """The refinement run to its fixed point (or to discreteness).
+
+    Attributes
+    ----------
+    signature:
+        Class ID per node at the final level, first-occurrence numbered.
+    depth:
+        The level at which iteration stopped: the first depth whose
+        partition is discrete, or the first depth that repeats its
+        predecessor (matching the loop in ``view_quotient``).
+    num_classes:
+        Number of distinct classes at ``depth``.
+    discrete:
+        True iff every node is alone in its class (the graph is feasible).
+    """
+
+    signature: Signature
+    depth: int
+    num_classes: int
+
+    @property
+    def discrete(self) -> bool:
+        return self.num_classes == len(self.signature)
+
+
+def stable_partition(g: PortGraph) -> StablePartition:
+    """Run the refinement until the partition is discrete or stabilizes,
+    whichever comes first; see :class:`StablePartition` for the stop depth
+    convention."""
+    prev: Optional[Signature] = None
+    depth = 0
+    sig: Signature = ()
+    for depth, sig in enumerate(refinement_levels(g)):
+        if sig == prev or _num_classes(sig) == g.n:
+            break
+        prev = sig
+    return StablePartition(
+        signature=sig, depth=depth, num_classes=_num_classes(sig)
+    )
+
+
+def _num_classes(sig: Signature) -> int:
+    # first-occurrence numbering: IDs are dense, so max + 1 counts classes
+    return max(sig) + 1 if sig else 0

@@ -1,0 +1,95 @@
+"""The view-cache lifecycle contract the engine relies on.
+
+Within a chunk, interning must be in full force (structurally equal views
+are one object, across graphs); at chunk boundaries,
+``clear_view_caches()`` must actually release every process-local table —
+the intern table, the truncation cache, the order comparison cache and
+the B^1 encoding cache — so a long sweep's memory is bounded by its
+largest chunk.
+"""
+
+from __future__ import annotations
+
+from repro.coding import Bits
+from repro.engine import run_experiments
+from repro.graphs import ring
+from repro.lowerbounds import hk_graph
+from repro.views import (
+    clear_view_caches,
+    encode_b1,
+    truncate_view,
+    view_compare,
+    views_of_graph,
+)
+from repro.views import encoding as encoding_mod
+from repro.views import order as order_mod
+from repro.views import view as view_mod
+from repro.views.view import intern_table_size
+
+
+def test_interning_survives_within_a_batch():
+    clear_view_caches()
+    # same graph, two computations: every view is pointer-shared
+    g = ring(8)
+    first = views_of_graph(g, 2)
+    second = views_of_graph(g, 2)
+    assert all(a is b for a, b in zip(first, second))
+    # interning is cross-graph: a ring's views recur inside a larger ring
+    big = views_of_graph(ring(12), 2)
+    assert first[0] is big[0]
+    assert intern_table_size() > 0
+
+
+def test_clear_view_caches_frees_every_table():
+    clear_view_caches()
+    g = ring(6)
+    views = views_of_graph(g, 3)
+    truncate_view(views[0], 1)
+    # distinct views (a ring node vs a lollipop node), so the comparison
+    # cannot short-circuit on identity and must populate the cache
+    other = views_of_graph(hk_graph(4), 3)[0]
+    assert view_compare(views[0], other) != 0
+    encode_b1(views_of_graph(g, 1)[0])
+    assert view_mod._INTERN
+    assert view_mod._TRUNCATE_CACHE
+    assert order_mod._COMPARE_CACHE
+    assert encoding_mod._B1_CACHE
+
+    clear_view_caches()
+    assert intern_table_size() == 0
+    assert not view_mod._INTERN
+    assert not view_mod._TRUNCATE_CACHE
+    assert not order_mod._COMPARE_CACHE
+    assert not encoding_mod._B1_CACHE
+
+
+def test_rebuilt_views_are_fresh_but_equivalent():
+    clear_view_caches()
+    g = ring(8)
+    before = views_of_graph(g, 2)
+    encoded_before = encode_b1(views_of_graph(g, 1)[0])
+    clear_view_caches()
+    after = views_of_graph(g, 2)
+    # fresh objects (never mix views across a clear) ...
+    assert all(a is not b for a, b in zip(before, after))
+    # ... but structurally the same computation
+    assert [v.degree for v in before] == [v.degree for v in after]
+    assert [v.depth for v in before] == [v.depth for v in after]
+    assert isinstance(encoded_before, Bits)
+    assert encode_b1(views_of_graph(g, 1)[0]) == encoded_before
+
+
+def test_engine_chunks_bound_the_intern_table():
+    """The serial path runs the identical chunk runner as workers do, so a
+    sweep leaves no interned views behind — the table is bounded by one
+    chunk, not the whole corpus."""
+    clear_view_caches()
+    corpus = [(f"hk-{k}", hk_graph(k)) for k in (4, 5, 6)]
+    records = run_experiments(corpus, task="elect", workers=1, chunk_size=1)
+    assert len(records) == 3
+    assert intern_table_size() == 0
+
+    # opting out keeps the caches warm (single-shot micro-bench mode)
+    run_experiments(corpus[:1], task="elect", workers=1, clear_caches=False)
+    assert intern_table_size() > 0
+    clear_view_caches()

@@ -1,0 +1,121 @@
+"""Parity of the array refinement fast path with the interned-view path.
+
+``election_index`` and ``view_quotient`` now run on
+:mod:`repro.views.refinement`; these tests pin the fast path to the
+view-based ground truth: signatures must be *tuple-equal* level by level
+(not merely induce the same partition), and the derived quantities (phi,
+feasibility, quotient structure) must be unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import InfeasibleGraphError
+from repro.graphs import (
+    clique,
+    cycle_with_leader_gadget,
+    grid_torus,
+    hypercube,
+    lollipop,
+    random_connected_graph,
+    ring,
+    star,
+)
+from repro.lowerbounds import hk_graph, necklace
+from repro.views import (
+    election_index,
+    refinement_levels,
+    stable_partition,
+    view_levels,
+    view_quotient,
+)
+from repro.views.election_index import _partition_signature
+
+CORPUS = [
+    ("ring-6", ring(6)),                       # infeasible: full symmetry
+    ("clique-5", clique(5)),                   # infeasible
+    ("star-5", star(5)),                       # leaves are symmetric
+    ("torus-3x4", grid_torus(3, 4)),
+    ("hypercube-3", hypercube(3)),
+    ("pendant-ring-7", cycle_with_leader_gadget(7)),   # feasible
+    ("lollipop-4-3", lollipop(4, 3)),                  # feasible
+    ("hk-4", hk_graph(4)),                             # feasible, phi = 1
+    ("necklace-4-3", necklace(4, 3)),                  # feasible, phi = 3
+    ("random-12", random_connected_graph(12, extra_edges=6, seed=5)),
+]
+
+
+@pytest.mark.parametrize("name,g", CORPUS, ids=[n for n, _ in CORPUS])
+def test_signatures_match_view_levels(name, g):
+    depths = 8
+    fast = itertools.islice(refinement_levels(g), depths)
+    slow = itertools.islice(view_levels(g), depths)
+    for depth, (sig, level) in enumerate(zip(fast, slow)):
+        assert sig == _partition_signature(level), (
+            f"{name}: fast/slow signatures diverge at depth {depth}"
+        )
+
+
+@pytest.mark.parametrize("name,g", CORPUS, ids=[n for n, _ in CORPUS])
+def test_election_index_matches_view_reference(name, g):
+    def reference_phi(graph):
+        """The pre-fast-path algorithm, verbatim on interned views."""
+        prev = None
+        for depth, level in enumerate(view_levels(graph)):
+            sig = _partition_signature(level)
+            if len(set(sig)) == graph.n:
+                return depth
+            if sig == prev:
+                raise InfeasibleGraphError("stabilized before discrete")
+            prev = sig
+
+    try:
+        expected = reference_phi(g)
+    except InfeasibleGraphError:
+        with pytest.raises(InfeasibleGraphError):
+            election_index(g)
+        return
+    assert election_index(g) == expected
+
+
+@pytest.mark.parametrize("name,g", CORPUS, ids=[n for n, _ in CORPUS])
+def test_stable_partition_consistent_with_quotient(name, g):
+    stable = stable_partition(g)
+    q = view_quotient(g)
+    assert list(stable.signature) == q.class_of
+    assert stable.num_classes == q.num_classes
+    assert stable.depth == q.stabilization_depth
+    assert stable.discrete == q.is_discrete
+    # class members listed in node order and disjoint
+    seen = set()
+    for members in q.classes:
+        assert members == sorted(members)
+        seen.update(members)
+    assert seen == set(g.nodes())
+
+
+def test_feasible_iff_discrete():
+    for name, g in CORPUS:
+        try:
+            election_index(g)
+            feasible = True
+        except InfeasibleGraphError:
+            feasible = False
+        assert stable_partition(g).discrete == feasible, name
+
+
+def test_refinement_allocates_no_views():
+    """The fast path must not touch the global intern table."""
+    from repro.views import clear_view_caches
+    from repro.views.view import intern_table_size
+
+    clear_view_caches()
+    g = necklace(4, 3)
+    stable_partition(g)
+    election_index(g)
+    view_quotient(g)
+    assert intern_table_size() == 0
+    clear_view_caches()
