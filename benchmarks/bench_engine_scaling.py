@@ -3,8 +3,10 @@
 * simulator throughput: rounds/second and messages/second of the
   synchronous LOCAL engine under COM workloads, across topologies;
 * experiment-engine scaling: wall clock of the same Theorem 3.1 sweep at
-  1, 2 and 4 worker processes, with the determinism contract (parallel
-  records byte-identical to serial) asserted on every run.
+  1, 2 and 4 worker processes — through the *streaming* entry point
+  (``run_stream``), so the bench also covers the bounded-window parallel
+  path — with the determinism contract (parallel records byte-identical
+  to serial) asserted on every run.
 
 Not a paper table; this is the substrate-health bench that keeps the
 simulators honest as the library grows (the per-round cost must stay
@@ -16,7 +18,12 @@ import pytest
 
 from repro.analysis import format_table
 from repro.analysis.sweep import corpus_with_phi
-from repro.engine import available_parallelism, records_to_jsonl, run_experiments
+from repro.engine import (
+    EngineConfig,
+    available_parallelism,
+    records_to_jsonl,
+    run_stream,
+)
 from repro.graphs import grid_torus, random_regular, ring
 from repro.sim import ViewAccumulator, run_sync
 
@@ -90,9 +97,14 @@ def test_experiment_engine_scaling(benchmark):
     for workers in (1, 2, 4):
         start = time.perf_counter()
         # chunk_size=1 keeps the chunks maximally balanced: the speedup
-        # bound is the heaviest single graph, not a lumpy chunk
-        records = run_experiments(
-            corpus, task="elect", workers=workers, chunk_size=1
+        # bound is the heaviest single graph, not a lumpy chunk.  The
+        # corpus flows through the streaming path, so the timing also
+        # covers the bounded in-flight window, not just Pool.map.
+        records = list(
+            run_stream(
+                iter(corpus), "elect",
+                EngineConfig(workers=workers, chunk_size=1),
+            )
         )
         elapsed = time.perf_counter() - start
         timings[workers] = elapsed
@@ -107,7 +119,7 @@ def test_experiment_engine_scaling(benchmark):
         )
     emit(
         "experiment_engine_scaling",
-        f"Experiment engine: Theorem 3.1 sweep wall clock "
+        f"Experiment engine: streamed Theorem 3.1 sweep wall clock "
         f"({len(corpus)} graphs, {available_parallelism()} CPUs available)",
         format_table(["workers", "graphs", "seconds", "speedup vs serial"], rows),
     )
@@ -118,4 +130,11 @@ def test_experiment_engine_scaling(benchmark):
         )
 
     small = corpus_with_phi(1, sizes=(6, 8))
-    benchmark(lambda: len(run_experiments(small, task="elect", workers=2)))
+    benchmark(
+        lambda: sum(
+            1
+            for _ in run_stream(
+                iter(small), "elect", EngineConfig(workers=2)
+            )
+        )
+    )

@@ -7,25 +7,39 @@ n grows by two orders of magnitude, and that the end-to-end simulation
 bits/(n lg n) must be non-increasing with n (convergence toward the
 asymptotic constant).
 
-Both sweeps run through :mod:`repro.engine` (the ``advice`` and ``elect``
-tasks), so the per-chunk view-cache lifecycle bounds memory even at the
-largest instances, and extra workers can be thrown at the corpus with
-``run_experiments(..., workers=N)`` without changing a single record."""
+Both sweeps run through the engine's *streaming* path
+(:func:`repro.engine.run_stream`): graphs are generated lazily and
+records consumed as they arrive, so the per-chunk view-cache lifecycle
+bounds memory even at the largest instances, and extra workers can be
+thrown at the corpus without changing a single record.  The registry
+sweep at the bottom drives a four-digit-entry corpus family through a
+persistent store — the "sweep service" configuration of ``repro sweep
+--out``."""
+
+import os
 
 from repro.analysis import format_table
+from repro.analysis.sweep import sweep_to_store
+from repro.corpus import iter_corpus
 from repro.core import run_elect
-from repro.engine import run_experiments
+from repro.engine import EngineConfig, ResultStore, run_stream
 from repro.lowerbounds import hk_graph, necklace
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import OUT_DIR, emit
 
 
 def test_scale_advice(benchmark):
-    corpus = [(f"hk-{k}", hk_graph(k)) for k in (16, 64, 256)] + [
-        (f"necklace-{k}-phi{phi}", necklace(k, phi, x=4))
-        for k, phi in ((32, 2), (64, 3))
-    ]
-    records = run_experiments(corpus, task="advice", chunk_size=1)
+    def corpus_stream():
+        # built lazily: at these sizes even holding all five graphs at
+        # once is measurable, and the stream path only ever holds a chunk
+        for k in (16, 64, 256):
+            yield f"hk-{k}", hk_graph(k)
+        for k, phi in ((32, 2), (64, 3)):
+            yield f"necklace-{k}-phi{phi}", necklace(k, phi, x=4)
+
+    records = list(
+        run_stream(corpus_stream(), "advice", EngineConfig(chunk_size=1))
+    )
     rows = [
         (r["name"], r["n"], r["m"], r["advice_bits"],
          round(r["bits_per_n_bitlength"], 2))
@@ -40,17 +54,20 @@ def test_scale_advice(benchmark):
     ratios = [r["bits_per_n_bitlength"] for r in records[:3]]
     assert ratios == sorted(ratios, reverse=True)
 
-    small = [("hk-64", hk_graph(64))]
     benchmark(
-        lambda: run_experiments(small, task="advice")[0]["advice_bits"]
+        lambda: next(
+            run_stream(iter([("hk-64", hk_graph(64))]), "advice",
+                       EngineConfig())
+        )["advice_bits"]
     )
 
 
 def test_scale_end_to_end(benchmark):
     """Full oracle + n-node simulation + verification at n ≈ 500."""
     g = hk_graph(100)
-    records = run_experiments([("hk-100", g)], task="elect", chunk_size=1)
-    rec = records[0]
+    rec = next(
+        run_stream(iter([("hk-100", g)]), "elect", EngineConfig(chunk_size=1))
+    )
     assert rec["n"] == g.n and rec["election_time"] == rec["phi"]
     emit(
         "scale_end_to_end",
@@ -64,3 +81,38 @@ def test_scale_end_to_end(benchmark):
 
     small = hk_graph(24)
     benchmark(lambda: run_elect(small).leader)
+
+
+def test_scale_streamed_registry_sweep(benchmark):
+    """A 1000-entry registry corpus through the resumable store path —
+    the configuration a long `repro sweep --out` run uses, at bench scale.
+    Peak corpus residency is one chunk; the store ends with one record
+    per entry and resuming it is a no-op."""
+    spec = "vertex-transitive:1000,seed=11"
+    path = os.fspath(OUT_DIR / "scale_streamed_registry.jsonl")
+    OUT_DIR.mkdir(exist_ok=True)
+    with ResultStore(path) as store:
+        ran, skipped = sweep_to_store(
+            iter_corpus(spec), "index", store, workers=2
+        )
+    assert (ran, skipped) == (1000, 0)
+    with ResultStore(path, resume=True) as store:
+        ran, skipped = sweep_to_store(iter_corpus(spec), "index", store)
+    assert (ran, skipped) == (0, 1000)
+    emit(
+        "scale_streamed_registry",
+        "Scale: streamed 1000-graph registry sweep (index task, resumable "
+        "store)",
+        f"spec = {spec}\nrecords = 1000 (resume is a no-op)\n"
+        f"store = {path}",
+    )
+
+    benchmark(
+        lambda: sum(
+            1
+            for _ in run_stream(
+                iter_corpus("vertex-transitive:50,seed=11"), "index",
+                EngineConfig(),
+            )
+        )
+    )

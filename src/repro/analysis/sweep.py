@@ -8,14 +8,20 @@ own constructions double as the cleanest phi-controlled workload
 generators).  ``sweep_elect`` runs the full Theorem 3.1 pipeline over a
 corpus — through :mod:`repro.engine`, optionally across worker processes —
 and reports advice size against the n log n envelope.
+
+For corpora too large to hold (the families of :mod:`repro.corpus`),
+``sweep_to_store`` is the resumable streaming loop behind
+``repro sweep --out/--resume``: it filters out entries whose records are
+already persisted, streams the rest through the engine, and appends each
+record to the store as it arrives.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.engine import run_experiments
+from repro.engine import EngineConfig, ResultStore, run_experiments, run_stream
 from repro.graphs.generators import (
     cycle_with_leader_gadget,
     lollipop,
@@ -98,6 +104,42 @@ def sweep_elect(
         )
         for r in records
     ]
+
+
+def sweep_to_store(
+    corpus_iter: Iterable[Tuple[str, PortGraph]],
+    task: str,
+    store: ResultStore,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Stream ``task`` over a lazy corpus into a persistent store.
+
+    Entries whose ``(name, task)`` key is already in ``store`` are
+    skipped *before* their graph is ever sent to a worker, so resuming an
+    interrupted sweep re-pays only the corpus generator, not the tasks.
+    Records are appended (and flushed) in corpus order as they arrive,
+    preserving the store's prefix invariant; with a deterministic corpus
+    iterator the resumed file is byte-identical to an uninterrupted run.
+
+    Returns ``(ran, skipped)`` entry counts.
+    """
+    skipped = 0
+
+    def not_yet_recorded():
+        nonlocal skipped
+        for name, graph in corpus_iter:
+            if (name, task) in store:
+                skipped += 1
+            else:
+                yield name, graph
+
+    config = EngineConfig(workers=workers, chunk_size=chunk_size)
+    ran = 0
+    for record in run_stream(not_yet_recorded(), task, config):
+        store.append(record)
+        ran += 1
+    return ran, skipped
 
 
 def fit_ratio(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:

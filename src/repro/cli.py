@@ -12,7 +12,14 @@ Commands
     The view quotient (what symmetry remains).
 ``sweep [--corpus C] [--task T] [--workers N] [--chunk-size K]``
     Run an experiment sweep through the parallel engine; ``--json FILE``
-    dumps the canonical JSON-lines records.
+    dumps the canonical JSON-lines records.  With ``--out FILE`` the
+    sweep *streams*: corpus entries are generated lazily, records are
+    appended to ``FILE`` as they arrive, and ``--resume`` skips entries
+    already recorded there — an interrupted sweep restarts where it died
+    and the merged file is byte-identical to an uninterrupted run.
+``corpus list`` / ``corpus emit FAMILY[:count,seed=S,...]``
+    Inspect the corpus-family registry / stream a family's graphs as
+    JSON lines.
 ``report [--out FILE]``
     Regenerate the small-scale experiment report (markdown).
 
@@ -46,6 +53,7 @@ from repro.graphs import (
     path_graph,
     random_connected_graph,
     random_regular,
+    random_tree,
     ring,
     star,
     wheel,
@@ -55,6 +63,7 @@ from repro.lowerbounds import hk_graph, necklace
 GENERATORS: Dict[str, Callable[..., PortGraph]] = {
     "ring": ring,
     "path": path_graph,
+    "random-tree": random_tree,
     "clique": clique,
     "star": star,
     "wheel": wheel,
@@ -162,7 +171,7 @@ def _cmd_quotient(args: argparse.Namespace) -> int:
 
 
 def parse_corpus_spec(spec: str) -> List:
-    """Parse a corpus SPEC into ``[(name, graph), ...]``.
+    """Parse a non-family corpus SPEC into ``[(name, graph), ...]``.
 
     ``default`` or ``default:MAX_N``
         The mixed feasible corpus of :func:`corpus_default`.
@@ -170,6 +179,9 @@ def parse_corpus_spec(spec: str) -> List:
         Graphs of prescribed election index (:func:`corpus_with_phi`).
     ``SPEC`` (anything else)
         A single graph spec as accepted by :func:`parse_graph_spec`.
+
+    Registered corpus families are handled by :func:`open_corpus_stream`,
+    which never materializes them.
     """
     from repro.analysis.sweep import corpus_default, corpus_with_phi
 
@@ -195,19 +207,70 @@ def parse_corpus_spec(spec: str) -> List:
     return [(spec, parse_graph_spec(spec))]
 
 
+def open_corpus_stream(spec: str):
+    """Open any corpus SPEC as ``(lazy iterator, size hint or None)``.
+
+    Family specs (``circulants:500,seed=3``; see ``repro corpus list``)
+    stream one graph at a time; the legacy specs of
+    :func:`parse_corpus_spec` are small and are simply wrapped.
+    """
+    from repro.corpus import is_family_spec, parse_family_spec
+
+    if is_family_spec(spec):
+        family, count, seed, params = parse_family_spec(spec)
+        return family.generate(count, seed=seed, **params), count
+    corpus = parse_corpus_spec(spec)
+    if not corpus:
+        raise ReproError(f"corpus spec '{spec}' produced no graphs")
+    return iter(corpus), len(corpus)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
-    from repro.engine import records_table, records_to_jsonl, run_experiments
-
-    corpus = parse_corpus_spec(args.corpus)
-    if not corpus:
-        raise ReproError(f"corpus spec '{args.corpus}' produced no graphs")
-    records = run_experiments(
-        corpus,
-        task=args.task,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
+    from repro.analysis.sweep import sweep_to_store
+    from repro.engine import (
+        EngineConfig,
+        ResultStore,
+        records_table,
+        records_to_jsonl,
+        run_stream,
     )
+
+    if args.resume and not args.out:
+        raise ReproError("--resume requires --out FILE (the store to resume)")
+    if args.out and args.json_out:
+        raise ReproError(
+            "--json and --out are mutually exclusive: --out already writes "
+            "the canonical JSON-lines records (incrementally)"
+        )
+    corpus_iter, size_hint = open_corpus_stream(args.corpus)
+    size_text = f"{size_hint} graphs" if size_hint is not None else "streamed"
+    print(f"task = {args.task}, corpus = {args.corpus} ({size_text}), "
+          f"workers = {args.workers}")
+
+    if args.out:
+        # streaming path: lazy corpus -> engine -> append-only store
+        with ResultStore(args.out, resume=args.resume) as store:
+            ran, skipped = sweep_to_store(
+                corpus_iter,
+                args.task,
+                store,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
+        print(f"{ran} records appended to {args.out}"
+              + (f" ({skipped} already recorded, skipped)" if skipped else ""))
+        return 0
+
+    records = list(
+        run_stream(
+            corpus_iter,
+            args.task,
+            EngineConfig(workers=args.workers, chunk_size=args.chunk_size),
+        )
+    )
+    if not records:
+        raise ReproError(f"corpus spec '{args.corpus}' produced no graphs")
     # nested fields (e.g. the per-algorithm list of the `messages` task)
     # only render usefully in the JSON output, not in a fixed-width table
     scalar_keys = {
@@ -217,13 +280,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if not isinstance(value, (list, dict))
     }
     columns = ["name"] + sorted(scalar_keys - {"task", "name"})
-    print(f"task = {args.task}, corpus = {args.corpus} "
-          f"({len(corpus)} graphs), workers = {args.workers}")
     print(format_table(columns, records_table(records, columns)))
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:
             fh.write(records_to_jsonl(records))
         print(f"records written to {args.json_out}")
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.corpus import iter_corpus, list_families
+
+    if args.corpus_command == "list":
+        rows = [
+            (
+                fam.name,
+                fam.feasibility,
+                ", ".join(f"{k}={v}" for k, v in sorted(fam.params.items())),
+                fam.description,
+            )
+            for fam in list_families()
+        ]
+        print(format_table(["family", "feasibility", "params", "description"],
+                           rows))
+        return 0
+
+    # emit: stream one {"name": ..., "graph": ...} JSON line per entry
+    import json
+
+    from repro.graphs import to_dict
+
+    out = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        count = 0
+        for name, g in iter_corpus(args.family):
+            line = json.dumps(
+                {"name": name, "graph": to_dict(g)},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            out.write(line + "\n")
+            count += 1
+    finally:
+        if args.out:
+            out.close()
+    if args.out:
+        print(f"{count} graphs written to {args.out}")
     return 0
 
 
@@ -289,7 +392,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", default=None,
         help="also write canonical JSON-lines records to this file",
     )
+    p.add_argument(
+        "--out", default=None,
+        help="stream records into this JSONL store instead of printing a "
+        "table (corpus entries are generated lazily; memory stays bounded)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="with --out: skip entries already recorded in the store, so an "
+        "interrupted sweep restarts where it died",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "corpus", help="inspect or emit the registered corpus families"
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+    pl = corpus_sub.add_parser("list", help="table of registered families")
+    pl.set_defaults(func=_cmd_corpus)
+    pe = corpus_sub.add_parser(
+        "emit", help="stream a family's (name, graph) entries as JSON lines"
+    )
+    pe.add_argument(
+        "family",
+        help="family spec, e.g. circulants:200,seed=3 (see `repro corpus list`)",
+    )
+    pe.add_argument("--out", default=None, help="write to this file instead "
+                    "of stdout")
+    pe.set_defaults(func=_cmd_corpus)
 
     p = sub.add_parser("report", help="regenerate the experiment report")
     p.add_argument("--out", default=None, help="write markdown to this file")
@@ -306,6 +436,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream consumer (e.g. `corpus emit ... | head`) closed early;
+        # point stdout at devnull so interpreter shutdown doesn't re-raise
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

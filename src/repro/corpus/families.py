@@ -1,0 +1,201 @@
+"""The built-in corpus families.
+
+Each generator follows the registry's prefix contract: all randomness
+comes from the single ``rng`` stream, consumed in entry order, so the
+first ``k`` entries never depend on ``count``.  Generators that must
+retry (connected circulants, regular pairings, connected lifts) draw
+their retries from the same stream — still deterministic, since the
+draws happen in a fixed sequential order.
+
+Sizes default to the small-to-medium range the engine's tasks handle in
+milliseconds, so six-digit corpora stay tractable; every knob is
+overridable through the spec syntax (``circulants:1000,max_n=64``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.corpus.registry import CorpusIter, register_family
+from repro.errors import CorpusError, GraphStructureError
+from repro.graphs.generators import (
+    caterpillar,
+    circulant,
+    clique,
+    cycle_with_leader_gadget,
+    grid_torus,
+    hypercube,
+    lift,
+    random_regular,
+    random_tree,
+    ring,
+)
+from repro.graphs.port_graph import PortGraph
+
+
+@register_family(
+    "tori",
+    "rows x cols grid tori with the canonical east/west/south/north ports",
+    "infeasible",
+)
+def _tori(prefix: str, rng: random.Random, count: int,
+          min_side: int = 3, max_side: int = 9) -> CorpusIter:
+    for i in range(count):
+        rows = rng.randint(min_side, max_side)
+        cols = rng.randint(min_side, max_side)
+        yield f"{prefix}-{i:05d}-{rows}x{cols}", grid_torus(rows, cols)
+
+
+@register_family(
+    "hypercubes",
+    "d-dimensional hypercubes (port i flips bit i)",
+    "infeasible",
+)
+def _hypercubes(prefix: str, rng: random.Random, count: int,
+                min_dim: int = 1, max_dim: int = 7) -> CorpusIter:
+    for i in range(count):
+        dim = rng.randint(min_dim, max_dim)
+        yield f"{prefix}-{i:05d}-d{dim}", hypercube(dim)
+
+
+def _random_circulant(
+    rng: random.Random, min_n: int, max_n: int, max_offsets: int
+) -> Tuple[str, PortGraph]:
+    """One connected circulant; retries (from the same stream) until the
+    sampled offsets generate Z_n."""
+    while True:
+        n = rng.randint(min_n, max_n)
+        available = range(1, (n - 1) // 2 + 1)  # 1 <= o < n/2
+        if not available:
+            continue
+        k = rng.randint(1, min(max_offsets, len(available)))
+        offsets = sorted(rng.sample(available, k))
+        try:
+            g = circulant(n, offsets)
+        except GraphStructureError:
+            continue  # gcd(offsets, n) > 1: disconnected
+        shape = f"n{n}o" + "+".join(str(o) for o in offsets)
+        return shape, g
+
+
+@register_family(
+    "circulants",
+    "connected circulant graphs C_n(offsets), rotation-invariant ports",
+    "infeasible",
+)
+def _circulants(prefix: str, rng: random.Random, count: int,
+                min_n: int = 6, max_n: int = 30,
+                max_offsets: int = 3) -> CorpusIter:
+    for i in range(count):
+        shape, g = _random_circulant(rng, min_n, max_n, max_offsets)
+        yield f"{prefix}-{i:05d}-{shape}", g
+
+
+@register_family(
+    "random-trees",
+    "uniform-attachment random trees (stars and mirrored paths can slip "
+    "in, so feasibility is typical, not guaranteed)",
+    "mixed",
+)
+def _random_trees(prefix: str, rng: random.Random, count: int,
+                  min_n: int = 6, max_n: int = 40) -> CorpusIter:
+    for i in range(count):
+        n = rng.randint(min_n, max_n)
+        yield f"{prefix}-{i:05d}-n{n}", random_tree(n, seed=rng)
+
+
+@register_family(
+    "caterpillars",
+    "caterpillar trees with random leg profiles along the spine",
+    "mixed",
+)
+def _caterpillars(prefix: str, rng: random.Random, count: int,
+                  min_spine: int = 3, max_spine: int = 12,
+                  max_legs: int = 3) -> CorpusIter:
+    for i in range(count):
+        spine = rng.randint(min_spine, max_spine)
+        legs = [rng.randint(0, max_legs) for _ in range(spine)]
+        shape = f"sp{spine}l" + "".join(str(k) for k in legs)
+        yield f"{prefix}-{i:05d}-{shape}", caterpillar(spine, legs)
+
+
+@register_family(
+    "random-regular",
+    "random d-regular graphs via the pairing model (random ports break "
+    "most symmetries, but not provably all)",
+    "mixed",
+)
+def _random_regular(prefix: str, rng: random.Random, count: int,
+                    min_n: int = 8, max_n: int = 24,
+                    min_degree: int = 3, max_degree: int = 4) -> CorpusIter:
+    if (min_n == max_n and min_degree == max_degree
+            and (min_n * min_degree) % 2):
+        # ranges are contiguous, so only fully-pinned odd*odd is unsatisfiable
+        raise CorpusError(
+            f"no d-regular graph exists with n = {min_n}, d = {min_degree}: "
+            f"n * d must be even"
+        )
+    for i in range(count):
+        while True:
+            d = rng.randint(min_degree, max_degree)
+            n = rng.randint(min_n, max_n)
+            if (n * d) % 2:
+                continue  # the pairing model needs an even stub count; redraw
+            try:
+                g = random_regular(n, d, seed=rng)
+            except GraphStructureError:
+                continue  # rare: no simple connected pairing found; redraw
+            break
+        yield f"{prefix}-{i:05d}-n{n}d{d}", g
+
+
+@register_family(
+    "lifts",
+    "quotient-lifts: k-fold covers of feasible pendant rings — infeasible "
+    "by construction, with stabilization depth = phi of the base",
+    "infeasible",
+)
+def _lifts(prefix: str, rng: random.Random, count: int,
+           min_ring: int = 4, max_ring: int = 10,
+           max_multiplicity: int = 3) -> CorpusIter:
+    for i in range(count):
+        ring_size = rng.randint(min_ring, max_ring)
+        multiplicity = rng.randint(2, max_multiplicity)
+        base = cycle_with_leader_gadget(ring_size)
+        g = lift(base, multiplicity, seed=rng)
+        yield f"{prefix}-{i:05d}-r{ring_size}x{multiplicity}", g
+
+
+@register_family(
+    "vertex-transitive",
+    "deliberately infeasible vertex-transitive mix: rings, canonical "
+    "cliques, hypercubes, tori and circulants",
+    "infeasible",
+)
+def _vertex_transitive(prefix: str, rng: random.Random, count: int,
+                       max_n: int = 32) -> CorpusIter:
+    def _ring() -> Tuple[str, PortGraph]:
+        n = rng.randint(3, max_n)
+        return f"ring{n}", ring(n)
+
+    def _clique() -> Tuple[str, PortGraph]:
+        n = rng.randint(3, min(10, max_n))
+        return f"clique{n}", clique(n)  # canonical circulant ports
+
+    def _cube() -> Tuple[str, PortGraph]:
+        dim = rng.randint(1, max(1, min(5, max_n.bit_length() - 1)))
+        return f"cube{dim}", hypercube(dim)
+
+    def _torus() -> Tuple[str, PortGraph]:
+        rows, cols = rng.randint(3, 6), rng.randint(3, 6)
+        return f"torus{rows}x{cols}", grid_torus(rows, cols)
+
+    def _circ() -> Tuple[str, PortGraph]:
+        shape, g = _random_circulant(rng, 6, max_n, 2)
+        return f"circ{shape}", g
+
+    kinds = (_ring, _clique, _cube, _torus, _circ)
+    for i in range(count):
+        shape, g = rng.choice(kinds)()
+        yield f"{prefix}-{i:05d}-{shape}", g

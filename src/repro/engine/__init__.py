@@ -8,6 +8,12 @@ intern table without bound.  This package provides the shared engine:
 * :func:`run_experiments` — fan a corpus out to worker processes in
   deterministic chunks; results are record-for-record identical to a
   serial run (see :mod:`repro.engine.engine` for the contract);
+* :func:`run_stream` — the iterator twin for corpora of unknown size:
+  consumes a lazy ``(name, graph)`` stream chunk-by-chunk with bounded
+  memory, yielding the identical records (:mod:`repro.engine.stream`);
+* :mod:`repro.engine.store` — the append-only canonical-JSONL result
+  store behind ``repro sweep --out/--resume``: records keyed by
+  ``(name, task)``, interrupted sweeps resume to a byte-identical file;
 * :mod:`repro.engine.tasks` — the registry of named experiments (``elect``,
   ``advice``, ``index``, ``messages``, ``ablation``); workers receive task
   *names*, never closures;
@@ -34,9 +40,22 @@ from repro.engine.records import (
     records_table,
     records_to_jsonl,
 )
+from repro.engine.store import ResultStore, StoreError, load_records, record_key
+from repro.engine.stream import (
+    DEFAULT_STREAM_CHUNK_SIZE,
+    STREAM_WINDOW_PER_WORKER,
+    run_stream,
+)
 from repro.engine.tasks import TASKS, get_task, register_task
 
 __all__ = [
+    "DEFAULT_STREAM_CHUNK_SIZE",
+    "STREAM_WINDOW_PER_WORKER",
+    "ResultStore",
+    "StoreError",
+    "load_records",
+    "record_key",
+    "run_stream",
     "EngineConfig",
     "EngineError",
     "available_parallelism",

@@ -113,7 +113,19 @@ def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
     out: List[Tuple[int, Record]] = []
     try:
         for pos, name, graph_json in chunk:
-            out.append((pos, task(name, from_json(graph_json))))
+            try:
+                out.append((pos, task(name, from_json(graph_json))))
+            except EngineError:
+                raise  # already carries context (and pickles: str args only)
+            except Exception as exc:
+                # wrap before crossing the process boundary: arbitrary
+                # exceptions may not unpickle in the parent (custom
+                # __init__ signatures), and a bare traceback would not say
+                # which corpus entry died
+                raise EngineError(
+                    f"task '{task_name}' failed on corpus entry '{name}' "
+                    f"(position {pos}): {type(exc).__name__}: {exc}"
+                ) from exc
     finally:
         if clear_caches:
             from repro.views.view import clear_view_caches

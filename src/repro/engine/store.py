@@ -1,0 +1,126 @@
+"""The persistent result store: append-only canonical JSONL, resumable.
+
+A store file holds one engine record per line in the canonical JSON of
+:mod:`repro.engine.records` (sorted keys, compact separators), appended
+in corpus order and flushed per record.  Records are keyed by
+``(name, task)`` — corpus entry names are unique within a stream by the
+registry's naming contract — which gives the resume semantics:
+
+* ``ResultStore(path)`` starts a fresh file (truncating any old one);
+* ``ResultStore(path, resume=True)`` loads the keys already on disk so a
+  sweep can skip them (:func:`repro.analysis.sweep.sweep_to_store` is
+  the filter-and-append loop), then appends the rest.
+
+Byte-identity under resume
+    A sweep appends records in deterministic corpus order, so an
+    interrupted run leaves a *prefix* of the uninterrupted file (plus at
+    most one torn line from a kill mid-write, which resume repairs by
+    truncating to the last complete line).  The resumed run skips
+    exactly the prefix keys and appends the remaining records in the
+    same order — the merged file is byte-identical to an uninterrupted
+    run.  Asserted in ``tests/test_engine_store.py`` and in CI's
+    kill/resume smoke job.
+
+Corruption beyond the torn tail (an unparsable line *followed by* more
+lines) is never repaired silently: it raises :class:`StoreError`, since
+dropping interior records would violate the prefix invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Set, Tuple
+
+from repro.engine.records import Record, record_to_json
+from repro.errors import StoreError
+
+#: A record's identity in a store: (corpus entry name, task name).
+StoreKey = Tuple[str, str]
+
+
+def record_key(record: Record) -> StoreKey:
+    """The ``(name, task)`` key of one engine record."""
+    try:
+        return (record["name"], record["task"])
+    except (KeyError, TypeError) as exc:
+        raise StoreError(
+            f"not an engine record (every record carries 'name' and "
+            f"'task'): {record!r} ({exc})"
+        ) from None
+
+
+class ResultStore:
+    """Append-only JSONL store with resume bookkeeping.
+
+    Use as a context manager; ``append`` writes one canonical line and
+    flushes, so a killed process loses at most the line being written
+    (which the next resume truncates away).
+    """
+
+    def __init__(self, path: str, resume: bool = False):
+        self.path = path
+        self.done: Set[StoreKey] = set()
+        if resume:
+            self._load_and_repair()
+            self._fh = open(path, "a", encoding="utf-8")
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+
+    def _load_and_repair(self) -> None:
+        """Read existing keys; truncate a torn final line (kill mid-write)."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        valid_end = 0
+        lines = data.split(b"\n")
+        # everything before the final element is a newline-terminated line
+        for i, line in enumerate(lines[:-1]):
+            try:
+                key = record_key(json.loads(line.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError, StoreError):
+                # invalid JSON, or valid JSON that is not an engine record
+                if any(rest.strip() for rest in lines[i + 1 :]):
+                    raise StoreError(
+                        f"store file '{self.path}' is corrupt at line {i + 1}: "
+                        f"an unparsable record is followed by further records "
+                        f"(only a torn final line is repairable)"
+                    ) from None
+                break  # torn tail that happens to contain a newline
+            self.done.add(key)
+            valid_end += len(line) + 1
+        # anything past valid_end is a torn line from a kill mid-write
+        if valid_end != len(data):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    def __contains__(self, key: StoreKey) -> bool:
+        return key in self.done
+
+    def __len__(self) -> int:
+        return len(self.done)
+
+    def append(self, record: Record) -> None:
+        """Write one record as a canonical JSON line and flush."""
+        self._fh.write(record_to_json(record) + "\n")
+        self._fh.flush()
+        self.done.add(record_key(record))
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_records(path: str) -> Iterator[Record]:
+    """Read a store file back lazily, one record at a time — stores can
+    be far larger than memory (that is why they exist)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                yield json.loads(line)

@@ -51,6 +51,14 @@ def _nlogn_envelope(n: int) -> float:
     return n * max(1.0, math.log2(n))
 
 
+#: Safety margin on the derived round bound of :func:`messages_task`.  The
+#: three traced algorithms terminate within D + phi + 1 rounds (Elect at
+#: phi, KnownDPhi at D + phi, Election1 at D + P_1 + 1 = D + phi + 1 by
+#: Lemma 4.1), so any slack >= 1 suffices; 4 leaves headroom without
+#: masking a runaway simulation.
+MESSAGES_ROUND_SLACK = 4
+
+
 # ----------------------------------------------------------------------
 # the built-in tasks
 # ----------------------------------------------------------------------
@@ -119,11 +127,15 @@ def messages_task(name: str, g: PortGraph) -> Record:
     from repro.core.elect import ElectAlgorithm
     from repro.core.elections import election_advice, make_election_algorithm
     from repro.core.known_d_phi import KnownDPhiAlgorithm, known_d_phi_advice
+    from repro.errors import SimulationError
     from repro.sim import run_sync
     from repro.sim.trace import Tracer
 
     bundle = compute_advice(g)
     d = g.diameter()
+    # the slowest traced algorithm needs D + phi + 1 rounds, so this bound
+    # scales with the graph instead of silently capping large instances
+    max_rounds = d + bundle.phi + MESSAGES_ROUND_SLACK
     algorithms = []
     for algo_name, factory, advice in (
         ("elect", ElectAlgorithm, bundle.bits),
@@ -131,9 +143,18 @@ def messages_task(name: str, g: PortGraph) -> Record:
         ("known_d_phi", KnownDPhiAlgorithm, known_d_phi_advice(d, bundle.phi)),
     ):
         tracer = Tracer()
-        result = run_sync(
-            g, factory, advice=advice, tracer=tracer, max_rounds=200
-        )
+        try:
+            result = run_sync(
+                g, factory, advice=advice, tracer=tracer, max_rounds=max_rounds
+            )
+        except SimulationError as exc:
+            raise EngineError(
+                f"messages task: algorithm '{algo_name}' on corpus entry "
+                f"'{name}' (n={g.n}) did not terminate within the derived "
+                f"bound D + phi + slack = {d} + {bundle.phi} + "
+                f"{MESSAGES_ROUND_SLACK} rounds; refusing to record a "
+                f"truncated trace"
+            ) from exc
         summary = tracer.summary()
         algorithms.append(
             {

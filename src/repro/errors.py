@@ -48,6 +48,16 @@ class EngineError(ReproError):
     chunk configuration) or a worker failed."""
 
 
+class CorpusError(ReproError):
+    """A corpus family spec is malformed, names an unknown family, or
+    carries parameters the family does not accept."""
+
+
+class StoreError(EngineError):
+    """A result store file is unreadable or corrupt beyond the repairable
+    truncated-tail case (see :mod:`repro.engine.store`)."""
+
+
 class SimulationError(ReproError):
     """The distributed simulation reached an invalid state."""
 

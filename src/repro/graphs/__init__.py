@@ -22,10 +22,12 @@ from repro.graphs.generators import (
     cycle_with_leader_gadget,
     grid_torus,
     hypercube,
+    lift,
     lollipop,
     path_graph,
     random_connected_graph,
     random_regular,
+    random_tree,
     ring,
     star,
     wheel,
@@ -58,10 +60,12 @@ __all__ = [
     "cycle_with_leader_gadget",
     "grid_torus",
     "hypercube",
+    "lift",
     "lollipop",
     "path_graph",
     "random_connected_graph",
     "random_regular",
+    "random_tree",
     "ring",
     "star",
     "are_port_isomorphic",

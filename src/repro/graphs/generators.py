@@ -242,6 +242,63 @@ def random_connected_graph(
     return b.build()
 
 
+def random_tree(n: int, seed: RngLike = 0) -> PortGraph:
+    """Uniform-attachment random tree on ``n >= 2`` nodes: node v attaches
+    to a uniformly random earlier node, ports by smallest-free-port in
+    creation order.  Usually feasible for n >= 4 (irregular degrees plus
+    asymmetric port assignment); consumers that need certainty verify with
+    :func:`~repro.views.election_index.is_feasible`."""
+    if n < 2:
+        raise GraphStructureError(f"random_tree requires n >= 2, got {n}")
+    rng = make_rng(seed)
+    b = PortGraphBuilder(n)
+    for v in range(1, n):
+        b.add_edge_auto(rng.randrange(v), v)
+    return b.build()
+
+
+def lift(base: PortGraph, multiplicity: int, seed: RngLike = 0,
+         max_tries: int = 200) -> PortGraph:
+    """A connected ``multiplicity``-fold covering lift of ``base``.
+
+    Node ``(v, i)`` of the lift is ``v * multiplicity + i``.  Every base
+    edge ``{u, v}`` with ports ``p`` at ``u`` and ``q`` at ``v`` becomes a
+    perfect matching between the copies of ``u`` and the copies of ``v``
+    (copy ``(u, i)`` joins ``(v, pi(i))`` for a seeded random permutation
+    ``pi`` per edge), carrying the same two port numbers.  The projection
+    ``(v, i) -> v`` is then a port-preserving covering map, so every
+    lifted node has exactly the view of its base image: for
+    ``multiplicity >= 2`` the lift is *infeasible*, its view quotient is
+    the stabilized partition of the base, and its refinement stabilizes at
+    the depth where the base's refinement stabilizes (= phi(base) for a
+    feasible base).
+
+    Permutations are resampled until the lift is connected, so the base
+    must contain a cycle: every lift of a tree is a disjoint forest of
+    copies, and is rejected here after ``max_tries`` attempts.
+    """
+    if multiplicity < 1:
+        raise GraphStructureError(
+            f"lift requires multiplicity >= 1, got {multiplicity}"
+        )
+    rng = make_rng(seed)
+    edges = list(base.edges())
+    for _ in range(max_tries):
+        b = PortGraphBuilder(base.n * multiplicity)
+        for u, p, v, q in edges:
+            perm = rng.sample(range(multiplicity), multiplicity)
+            for i, j in enumerate(perm):
+                b.add_edge(u * multiplicity + i, p, v * multiplicity + j, q)
+        try:
+            return b.build()
+        except GraphStructureError:
+            continue  # disconnected lift (cycle voltages not transitive)
+    raise GraphStructureError(
+        f"failed to sample a connected {multiplicity}-lift in {max_tries} "
+        f"tries; does the base graph contain a cycle?"
+    )
+
+
 def wheel(spokes: int) -> PortGraph:
     """Wheel W_n: a hub joined to every node of an n-cycle.
 

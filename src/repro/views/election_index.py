@@ -25,11 +25,11 @@ them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InfeasibleGraphError
 from repro.graphs.port_graph import PortGraph
-from repro.views.refinement import refinement_levels
+from repro.views.refinement import _num_classes, refinement_levels
 from repro.views.view import View
 
 
@@ -45,15 +45,16 @@ def _partition_signature(level: List[View]) -> Tuple[int, ...]:
 
 
 def view_partition_trace(
-    g: PortGraph, max_depth: int = None
+    g: PortGraph, max_depth: Optional[int] = None
 ) -> List[Tuple[int, int]]:
     """``[(depth, num_classes), ...]`` until the partition stabilizes or
     becomes discrete (whichever first), capped at ``max_depth`` levels."""
     trace: List[Tuple[int, int]] = []
     prev_sig = None
     for depth, sig in enumerate(refinement_levels(g, max_depth=max_depth)):
-        trace.append((depth, len(set(sig))))
-        if len(set(sig)) == g.n or sig == prev_sig:
+        num_classes = _num_classes(sig)
+        trace.append((depth, num_classes))
+        if num_classes == g.n or sig == prev_sig:
             break
         prev_sig = sig
     return trace
@@ -64,10 +65,12 @@ def election_index(g: PortGraph) -> int:
     distinct.  Raises :class:`InfeasibleGraphError` for infeasible graphs."""
     prev_sig = None
     for depth, sig in enumerate(refinement_levels(g)):
-        num_classes = len(set(sig))
+        num_classes = _num_classes(sig)
         if num_classes == g.n:
             return depth
         if sig == prev_sig:
+            # level `depth` repeats level `depth - 1`: the partition
+            # stabilized at `depth - 1` (StablePartition.depth agrees)
             raise InfeasibleGraphError(
                 f"graph is infeasible: the view partition stabilizes at depth "
                 f"{depth - 1} with {num_classes} < n = {g.n} classes"

@@ -36,7 +36,9 @@ class ViewQuotient:
         class: members share degree), the pair
         ``(remote_port, target_class)``.
     stabilization_depth:
-        The depth at which the refinement stabilized.
+        The depth at which the refinement stabilized — the stabilized
+        level itself (:attr:`StablePartition.depth`), never the first
+        level that merely repeats it.
     """
 
     class_of: List[int]

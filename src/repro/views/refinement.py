@@ -77,9 +77,11 @@ class StablePartition:
     signature:
         Class ID per node at the final level, first-occurrence numbered.
     depth:
-        The level at which iteration stopped: the first depth whose
-        partition is discrete, or the first depth that repeats its
-        predecessor (matching the loop in ``view_quotient``).
+        The level at which the refinement stabilized: the first depth
+        whose partition is discrete (= phi for feasible graphs), or —
+        for infeasible graphs — the last depth that still refined its
+        predecessor.  Level ``depth + 1`` would induce the identical
+        partition; the first *repeating* level is never reported.
     num_classes:
         Number of distinct classes at ``depth``.
     discrete:
@@ -103,7 +105,12 @@ def stable_partition(g: PortGraph) -> StablePartition:
     depth = 0
     sig: Signature = ()
     for depth, sig in enumerate(refinement_levels(g)):
-        if sig == prev or _num_classes(sig) == g.n:
+        if _num_classes(sig) == g.n:
+            break
+        if sig == prev:
+            # level `depth` merely repeats level `depth - 1`: the
+            # partition stabilized one level earlier
+            depth -= 1
             break
         prev = sig
     return StablePartition(

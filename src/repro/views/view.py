@@ -200,6 +200,7 @@ def clear_view_caches() -> None:
     which key on view identity).  Existing View objects remain valid but
     newly built structurally-equal views will be fresh objects — so never
     mix views from before and after a clear."""
+    from repro.sim import trace as _trace
     from repro.views import encoding as _encoding
     from repro.views import order as _order
 
@@ -207,6 +208,10 @@ def clear_view_caches() -> None:
     _TRUNCATE_CACHE.clear()
     _order._COMPARE_CACHE.clear()
     _encoding._B1_CACHE.clear()
+    # the tracer's DAG-size cache keys on id(view); once the intern table
+    # is dropped those ids can be recycled by fresh views, and a stale
+    # entry would silently misprice a different view's transmission cost
+    _trace._DAG_SIZE_CACHE.clear()
 
 
 def intern_table_size() -> int:

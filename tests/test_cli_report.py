@@ -83,6 +83,70 @@ class TestCommands:
         assert "Open question" in text
 
 
+class TestCorpusAndStreamingSweep:
+    def test_corpus_list(self, capsys):
+        assert main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("tori", "circulants", "lifts", "vertex-transitive"):
+            assert family in out
+
+    def test_corpus_emit(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "corpus.jsonl"
+        assert main(["corpus", "emit", "hypercubes:3,seed=1,min_dim=2,max_dim=2",
+                     "--out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        entry = json.loads(lines[0])
+        assert entry["name"].startswith("hypercubes-s1-00000")
+        assert len(entry["graph"]["edges"]) == 4  # the 2-cube
+
+    def test_corpus_emit_roundtrips_through_graph_spec(self, tmp_path):
+        import json
+
+        from repro.cli import parse_graph_spec
+
+        path = tmp_path / "corpus.jsonl"
+        assert main(["corpus", "emit", "random-trees:2,seed=4",
+                     "--out", str(path)]) == 0
+        entry = json.loads(path.read_text().splitlines()[0])
+        graph_file = tmp_path / "g.json"
+        graph_file.write_text(json.dumps(entry["graph"]))
+        g = parse_graph_spec(f"@{graph_file}")
+        assert g.n == entry["graph"]["n"]
+
+    def test_sweep_family_table(self, capsys):
+        assert main(["sweep", "--corpus", "tori:3,seed=2", "--task",
+                     "index"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible" in out and "tori-s2-00000" in out
+
+    def test_sweep_out_and_resume(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        spec = "caterpillars:8,seed=3"
+        assert main(["sweep", "--corpus", spec, "--task", "index",
+                     "--out", str(path)]) == 0
+        first = path.read_bytes()
+        assert first.count(b"\n") == 8
+        assert "8 records appended" in capsys.readouterr().out
+        # resume over a complete store is a no-op and keeps the bytes
+        assert main(["sweep", "--corpus", spec, "--task", "index",
+                     "--out", str(path), "--resume"]) == 0
+        assert "0 records appended" in capsys.readouterr().out
+        assert path.read_bytes() == first
+
+    def test_resume_without_out_is_an_error(self, capsys):
+        assert main(["sweep", "--corpus", "tori:2", "--resume"]) == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_json_and_out_are_mutually_exclusive(self, tmp_path, capsys):
+        assert main(["sweep", "--corpus", "tori:2",
+                     "--out", str(tmp_path / "a.jsonl"),
+                     "--json", str(tmp_path / "b.jsonl")]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestReportContent:
     @pytest.fixture(scope="class")
     def report(self):

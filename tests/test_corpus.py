@@ -1,0 +1,174 @@
+"""The corpus-family registry: laziness, determinism, the prefix
+contract, feasibility coverage, and the spec parser."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.corpus import (
+    FAMILIES,
+    get_family,
+    is_family_spec,
+    iter_corpus,
+    list_families,
+    parse_family_spec,
+)
+from repro.errors import CorpusError
+from repro.graphs.serialization import to_json
+from repro.views import is_feasible, stable_partition
+
+EXPECTED_FAMILIES = {
+    "tori",
+    "hypercubes",
+    "circulants",
+    "random-trees",
+    "caterpillars",
+    "random-regular",
+    "lifts",
+    "vertex-transitive",
+}
+
+
+def test_registry_contains_the_issue_families():
+    assert EXPECTED_FAMILIES <= set(FAMILIES)
+    assert [f.name for f in list_families()] == sorted(FAMILIES)
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED_FAMILIES))
+def test_family_yields_count_named_entries(family):
+    entries = list(get_family(family).generate(6, seed=2))
+    assert len(entries) == 6
+    names = [name for name, _ in entries]
+    assert len(set(names)) == 6  # unique within the stream: the store key
+    assert all(name.startswith(f"{family}-s2-") for name in names)
+    assert all(g.n >= 2 and g.is_connected() for _, g in entries)
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED_FAMILIES))
+def test_generation_is_lazy(family):
+    stream = get_family(family).generate(10**9, seed=0)
+    first = list(itertools.islice(stream, 2))
+    assert len(first) == 2  # a billion-entry corpus costs two entries
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED_FAMILIES))
+def test_prefix_contract(family):
+    """The first k entries never depend on count — the property resume
+    relies on to re-create an interrupted corpus exactly."""
+    fam = get_family(family)
+    short = [(n, to_json(g)) for n, g in fam.generate(4, seed=7)]
+    long_prefix = [
+        (n, to_json(g))
+        for n, g in itertools.islice(fam.generate(40, seed=7), 4)
+    ]
+    assert short == long_prefix
+
+
+def test_same_seed_same_graphs_different_seed_differs():
+    fam = get_family("random-trees")
+    a = [(n, to_json(g)) for n, g in fam.generate(5, seed=1)]
+    b = [(n, to_json(g)) for n, g in fam.generate(5, seed=1)]
+    c = [to_json(g) for _, g in fam.generate(5, seed=2)]
+    assert a == b
+    assert [j for _, j in a] != c
+
+
+@pytest.mark.parametrize(
+    "family", ["tori", "hypercubes", "circulants", "lifts", "vertex-transitive"]
+)
+def test_infeasible_families_are_infeasible(family):
+    fam = get_family(family)
+    assert fam.feasibility == "infeasible"
+    for name, g in fam.generate(5, seed=3):
+        assert not is_feasible(g), name
+
+
+def test_lift_family_stabilizes_at_base_phi():
+    """The lifts family documents stabilization depth = phi(base); the
+    refinement must agree (this is the workload the depth off-by-one
+    would have corrupted at scale)."""
+    from repro.graphs import cycle_with_leader_gadget
+    from repro.views import election_index
+
+    for name, g in get_family("lifts").generate(5, seed=4):
+        # name ends in -r<ring>x<mult>
+        shape = name.rsplit("-", 1)[1]
+        ring_size, mult = (int(x) for x in shape[1:].split("x"))
+        base = cycle_with_leader_gadget(ring_size)
+        stable = stable_partition(g)
+        assert g.n == base.n * mult
+        assert stable.depth == election_index(base), name
+        assert stable.num_classes == base.n
+
+
+def test_family_params_are_applied():
+    for name, g in get_family("tori").generate(4, seed=0, min_side=5,
+                                               max_side=5):
+        assert g.n == 25, name
+    for _, g in get_family("hypercubes").generate(4, seed=0, min_dim=3,
+                                                  max_dim=3):
+        assert g.n == 8
+
+
+def test_random_regular_stays_within_bounds():
+    for name, g in get_family("random-regular").generate(
+        12, seed=5, min_n=9, max_n=11, min_degree=3, max_degree=3
+    ):
+        assert 9 <= g.n <= 11, name  # never bumped past max_n for parity
+        assert g.n % 2 == 0  # d=3 forces the even n in range
+
+
+def test_random_regular_unsatisfiable_range_raises():
+    with pytest.raises(CorpusError, match="must be even"):
+        list(get_family("random-regular").generate(
+            1, seed=0, min_n=23, max_n=23, min_degree=3, max_degree=3
+        ))
+
+
+def test_unknown_family_and_params_raise():
+    with pytest.raises(CorpusError, match="unknown corpus family"):
+        get_family("moebius")
+    with pytest.raises(CorpusError, match="no parameter"):
+        list(get_family("tori").generate(1, seed=0, sides=4))
+    with pytest.raises(CorpusError):
+        get_family("tori").generate(-1)
+
+
+class TestSpecParser:
+    def test_bare_family(self):
+        family, count, seed, params = parse_family_spec("circulants")
+        assert family.name == "circulants"
+        assert (count, seed, params) == (100, 0, {})
+
+    def test_positional_count_and_keywords(self):
+        family, count, seed, params = parse_family_spec(
+            "lifts:250,seed=7,max_ring=12"
+        )
+        assert family.name == "lifts"
+        assert (count, seed) == (250, 7)
+        assert params == {"max_ring": 12}
+
+    def test_count_keyword(self):
+        _, count, seed, _ = parse_family_spec("tori:count=9,seed=1")
+        assert (count, seed) == (9, 1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(CorpusError, match="not an integer"):
+            parse_family_spec("tori:many")
+
+    def test_second_positional_rejected(self):
+        with pytest.raises(CorpusError, match="positional"):
+            parse_family_spec("tori:5,7")
+
+    def test_is_family_spec(self):
+        assert is_family_spec("tori:50")
+        assert is_family_spec("random-trees")
+        assert not is_family_spec("ring:8")
+        assert not is_family_spec("default:25")
+
+    def test_iter_corpus_applies_params(self):
+        entries = list(iter_corpus("hypercubes:3,seed=5,min_dim=2,max_dim=2"))
+        assert len(entries) == 3
+        assert all(g.n == 4 for _, g in entries)

@@ -63,6 +63,32 @@ def test_clear_view_caches_frees_every_table():
     assert not encoding_mod._B1_CACHE
 
 
+def test_clear_drops_the_tracer_dag_size_cache():
+    """Regression: the tracer's DAG-size cache keys on id(view); leaving
+    it populated across a clear lets recycled ids misprice *different*
+    views, which made `messages` records depend on process history."""
+    from repro.sim import trace as trace_mod
+    from repro.sim.trace import view_dag_size
+
+    clear_view_caches()
+    view_dag_size(views_of_graph(ring(6), 3)[0])
+    assert trace_mod._DAG_SIZE_CACHE
+    clear_view_caches()
+    assert not trace_mod._DAG_SIZE_CACHE
+
+
+def test_messages_records_do_not_depend_on_chunk_history():
+    """The engine purity contract for the `messages` task: the same graph
+    must produce the same record whether measured alone or after other
+    graphs ran (and cleared caches) in the same process."""
+    from repro.corpus import iter_corpus
+
+    corpus = list(iter_corpus("caterpillars:10,seed=8,max_spine=20"))
+    solo = run_experiments([corpus[8]], task="messages")
+    chunked = run_experiments(corpus, task="messages", chunk_size=4)
+    assert solo[0] == chunked[8]
+
+
 def test_rebuilt_views_are_fresh_but_equivalent():
     clear_view_caches()
     g = ring(8)

@@ -107,6 +107,51 @@ def test_feasible_iff_discrete():
         assert stable_partition(g).discrete == feasible, name
 
 
+class TestStabilizationDepth:
+    """Regression for the depth off-by-one: `StablePartition.depth` and
+    `ViewQuotient.stabilization_depth` must report the *stabilized* level
+    (the docstring and `election_index`'s error message convention), not
+    the first level that repeats it."""
+
+    def test_fully_symmetric_graphs_stabilize_at_zero(self):
+        # one class at level 0, and level 1 does not refine it
+        for g in (ring(6), clique(5), hypercube(3), grid_torus(3, 4)):
+            stable = stable_partition(g)
+            assert stable.depth == 0
+            assert stable.num_classes == 1
+            assert view_quotient(g).stabilization_depth == 0
+
+    def test_lift_stabilizes_at_base_phi(self):
+        """A k-fold cover of a feasible base has a known stabilization
+        depth: exactly phi(base) — level phi-1 still refines (the base
+        partition is not yet discrete there), level phi+1 repeats."""
+        from repro.graphs import lift
+
+        for ring_size, multiplicity, seed in ((5, 2, 1), (7, 3, 2)):
+            base = cycle_with_leader_gadget(ring_size)
+            phi = election_index(base)
+            lifted = lift(base, multiplicity, seed=seed)
+            stable = stable_partition(lifted)
+            assert not stable.discrete
+            assert stable.depth == phi, (ring_size, multiplicity)
+            assert view_quotient(lifted).stabilization_depth == phi
+
+    def test_error_message_agrees_with_stable_depth(self):
+        for g in (ring(6), clique(5), grid_torus(3, 3)):
+            depth = stable_partition(g).depth
+            with pytest.raises(
+                InfeasibleGraphError,
+                match=rf"stabilizes at depth {depth} ",
+            ):
+                election_index(g)
+
+    def test_feasible_depth_still_equals_phi(self):
+        for name, g in CORPUS:
+            stable = stable_partition(g)
+            if stable.discrete:
+                assert stable.depth == election_index(g), name
+
+
 def test_refinement_allocates_no_views():
     """The fast path must not touch the global intern table."""
     from repro.views import clear_view_caches
