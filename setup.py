@@ -23,7 +23,7 @@ setup(
     python_requires=">=3.9",
     install_requires=["networkx"],
     extras_require={
-        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+        "dev": ["pytest", "hypothesis", "pytest-benchmark", "pytest-cov"],
     },
     entry_points={
         "console_scripts": ["repro=repro.cli:main"],

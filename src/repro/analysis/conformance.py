@@ -1,0 +1,137 @@
+"""Aggregation and reporting for conformance sweeps.
+
+A conformance store interleaves per-algorithm sub-records and per-entry
+summaries (:mod:`repro.conformance.oracle`); this module folds a record
+stream into the two tables the CLI prints — one row per corpus family
+(entries, feasibility split, cells, disagreements) and one row per
+algorithm (runs, cells, round/advice aggregates) — plus the overall
+verdict the exit code reflects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.engine.records import Record
+
+
+def _family_of(entry_name: str) -> str:
+    """Corpus family of an entry name (``<family>-s<seed>-...`` per the
+    registry naming contract; anything else aggregates under itself)."""
+    head, sep, _ = entry_name.partition("-s")
+    return head if sep else entry_name
+
+
+@dataclass
+class ConformanceSummary:
+    """Totals of one conformance sweep."""
+
+    entries: int = 0
+    feasible: int = 0
+    cells: int = 0
+    disagreements: int = 0
+    disagreement_entries: List[str] = field(default_factory=list)
+    by_family: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    by_algorithm: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.disagreements == 0
+
+
+def summarize_conformance(records: Iterable[Record]) -> ConformanceSummary:
+    """Fold a conformance record stream (sub-records and summaries, any
+    task parameterization) into a :class:`ConformanceSummary`."""
+    out = ConformanceSummary()
+    for record in records:
+        entry = record.get("entry")
+        name = record.get("name")
+        if entry is None or name is None:
+            continue  # not a conformance record
+        if entry == name:
+            # per-entry summary
+            out.entries += 1
+            fam = out.by_family.setdefault(
+                _family_of(name),
+                {"entries": 0, "feasible": 0, "cells": 0, "disagreements": 0},
+            )
+            fam["entries"] += 1
+            if record.get("feasible"):
+                out.feasible += 1
+                fam["feasible"] += 1
+            out.cells += record.get("cells", 0)
+            fam["cells"] += record.get("cells", 0)
+            total = record.get(
+                "total_disagreements", len(record.get("disagreements", []))
+            )
+            fam["disagreements"] += total
+            out.disagreements += total
+            if total:
+                out.disagreement_entries.append(name)
+        else:
+            # per-algorithm sub-record
+            algo = out.by_algorithm.setdefault(
+                record.get("algorithm", "?"),
+                {
+                    "runs": 0,
+                    "cells": 0,
+                    "disagreements": 0,
+                    # None = never observed (e.g. every run failed) —
+                    # distinct from a genuine 0-round election
+                    "max_time": None,
+                    "max_advice_bits": None,
+                },
+            )
+            algo["runs"] += 1
+            algo["cells"] += record.get("cells", 0)
+            algo["disagreements"] += len(record.get("disagreements", []))
+            time = record.get("election_time")
+            if isinstance(time, int):
+                algo["max_time"] = max(algo["max_time"] or 0, time)
+            bits = record.get("advice_bits")
+            if isinstance(bits, int):
+                algo["max_advice_bits"] = max(algo["max_advice_bits"] or 0, bits)
+    return out
+
+
+def family_table(summary: ConformanceSummary) -> Tuple[List[str], List[Tuple]]:
+    """(columns, rows) of the per-family table, family-sorted."""
+    columns = ["family", "entries", "feasible", "cells", "disagreements"]
+    rows = [
+        (
+            fam,
+            stats["entries"],
+            stats["feasible"],
+            stats["cells"],
+            stats["disagreements"],
+        )
+        for fam, stats in sorted(summary.by_family.items())
+    ]
+    return columns, rows
+
+
+def algorithm_table(summary: ConformanceSummary) -> Tuple[List[str], List[Tuple]]:
+    """(columns, rows) of the per-algorithm table, name-sorted."""
+    columns = [
+        "algorithm",
+        "runs",
+        "cells",
+        "disagreements",
+        "max time",
+        "max advice bits",
+    ]
+    rows = [
+        (
+            algo,
+            stats["runs"],
+            stats["cells"],
+            stats["disagreements"],
+            stats["max_time"] if stats["max_time"] is not None else "-",
+            stats["max_advice_bits"]
+            if stats["max_advice_bits"] is not None
+            else "-",
+        )
+        for algo, stats in sorted(summary.by_algorithm.items())
+    ]
+    return columns, rows

@@ -118,11 +118,15 @@ def sweep_to_store(
     Entries whose ``(name, task)`` key is already in ``store`` are
     skipped *before* their graph is ever sent to a worker, so resuming an
     interrupted sweep re-pays only the corpus generator, not the tasks.
-    Records are appended (and flushed) in corpus order as they arrive,
-    preserving the store's prefix invariant; with a deterministic corpus
-    iterator the resumed file is byte-identical to an uninterrupted run.
+    For multi-record tasks this key belongs to the entry's *summary*
+    record, which the store only registers once the whole group is on
+    disk — a kill mid-entry re-runs that entry in full (the store
+    truncates its partial group on resume).  Records are appended (and
+    flushed) in corpus order as they arrive, preserving the store's
+    prefix invariant; with a deterministic corpus iterator the resumed
+    file is byte-identical to an uninterrupted run.
 
-    Returns ``(ran, skipped)`` entry counts.
+    Returns ``(ran, skipped)``: records appended and entries skipped.
     """
     skipped = 0
 

@@ -11,6 +11,12 @@
 * :mod:`tree_no_advice` — the [25] contrast the paper highlights: in
   feasible *trees*, time D needs no advice at all, because every node can
   fold its view back into the exact map of the tree.
+
+Every baseline (and the core algorithms) is also registered behind the
+uniform runner protocol of :mod:`repro.conformance.algorithms` — an
+``AlgorithmSpec`` describing applicability, advice construction, round
+budget and leader rule — which is how the conformance oracle drives all
+of them through every simulation model interchangeably.
 """
 
 from repro.baselines.map_based import (

@@ -17,6 +17,13 @@ Commands
     appended to ``FILE`` as they arrive, and ``--resume`` skips entries
     already recorded there — an interrupted sweep restarts where it died
     and the merged file is byte-identical to an uninterrupted run.
+``conformance [--families F,G] [--schedules K] [--workers N] [--out FILE]``
+    The differential oracle: every registered election algorithm under
+    the synchronous, strict-wire and asynchronous models (the latter
+    over ``K`` adversarial schedules), cross-checked per corpus entry;
+    prints per-family and per-algorithm tables and exits nonzero on any
+    disagreement.  ``--out``/``--resume`` stream record groups through
+    the result store with kill/resume byte-identity.
 ``corpus list`` / ``corpus emit FAMILY[:count,seed=S,...]``
     Inspect the corpus-family registry / stream a family's graphs as
     JSON lines.
@@ -288,6 +295,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from itertools import chain
+
+    from repro.analysis import (
+        algorithm_table,
+        family_table,
+        format_table,
+        summarize_conformance,
+    )
+    from repro.analysis.sweep import sweep_to_store
+    from repro.conformance import conformance_task_name
+    from repro.corpus import get_family
+    from repro.engine import EngineConfig, ResultStore, load_records, run_stream
+
+    if args.resume and not args.out:
+        raise ReproError("--resume requires --out FILE (the store to resume)")
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    if not families:
+        raise ReproError("--families needs at least one corpus family")
+    streams = [
+        get_family(fam).generate(args.count, seed=args.seed) for fam in families
+    ]
+    corpus_iter = chain.from_iterable(streams)
+    task = conformance_task_name(schedules=args.schedules, seed=args.seed)
+    print(
+        f"task = {task}, families = {', '.join(families)} "
+        f"({args.count} entries each), workers = {args.workers}"
+    )
+
+    if args.out:
+        with ResultStore(args.out, resume=args.resume) as store:
+            ran, skipped = sweep_to_store(
+                corpus_iter,
+                task,
+                store,
+                workers=args.workers,
+                chunk_size=args.chunk_size,
+            )
+        print(f"{ran} records appended to {args.out}"
+              + (f" ({skipped} entries already recorded, skipped)"
+                 if skipped else ""))
+        # a store may hold sweeps of other parameterizations (different
+        # task strings); summarize only the one just run
+        records = (
+            r for r in load_records(args.out) if r.get("task") == task
+        )
+    else:
+        records = run_stream(
+            corpus_iter,
+            task,
+            EngineConfig(workers=args.workers, chunk_size=args.chunk_size),
+        )
+
+    summary = summarize_conformance(records)
+    columns, rows = family_table(summary)
+    print(format_table(columns, rows))
+    print()
+    columns, rows = algorithm_table(summary)
+    print(format_table(columns, rows))
+    print(
+        f"\n{summary.entries} entries ({summary.feasible} feasible), "
+        f"{summary.cells} algorithm x model x schedule cells"
+    )
+    if summary.clean:
+        print("conformance: zero disagreements")
+        return 0
+    print(
+        f"conformance: {summary.disagreements} DISAGREEMENTS in entries "
+        f"{summary.disagreement_entries[:10]}"
+    )
+    return 1
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.corpus import iter_corpus, list_families
@@ -403,6 +483,46 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted sweep restarts where it died",
     )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential oracle: all algorithms x all sim models x "
+        "adversarial schedules over corpus families",
+    )
+    p.add_argument(
+        "--families", default="tori,random-trees,lifts",
+        help="comma-separated corpus families (see `repro corpus list`)",
+    )
+    p.add_argument(
+        "--count", type=int, default=20,
+        help="corpus entries per family (prefix-stable per the registry)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for both the corpus streams and the schedule roster",
+    )
+    p.add_argument(
+        "--schedules", type=int, default=3,
+        help="adversarial async schedules per entry (deterministic roster)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (records identical at any worker count)",
+    )
+    p.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="corpus entries per chunk (the view-cache lifetime)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="stream record groups into this JSONL store",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="with --out: skip entries whose record group is already "
+        "complete in the store (partial groups are re-run in full)",
+    )
+    p.set_defaults(func=_cmd_conformance)
 
     p = sub.add_parser(
         "corpus", help="inspect or emit the registered corpus families"

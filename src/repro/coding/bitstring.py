@@ -26,7 +26,10 @@ class Bits:
         if isinstance(value, Bits):
             self._s = value._s
         elif isinstance(value, str):
-            if any(c not in "01" for c in value):
+            # str.strip('01') is a C-speed scan: anything left over is an
+            # invalid character (this constructor is the wire codec's
+            # hottest validation)
+            if value.strip("01"):
                 raise CodingError(
                     f"bitstring literal may contain only '0'/'1', got {value!r}"
                 )
@@ -41,6 +44,14 @@ class Bits:
 
     # ------------------------------------------------------------------
     @classmethod
+    def _unsafe(cls, s: str) -> "Bits":
+        """Wrap a string known to be all '0'/'1' without re-validating —
+        for internal codec paths whose output is valid by construction."""
+        b = object.__new__(cls)
+        b._s = s
+        return b
+
+    @classmethod
     def from_str(cls, s: str) -> "Bits":
         """Construct from a '0'/'1' string."""
         return cls(s)
@@ -48,7 +59,9 @@ class Bits:
     @classmethod
     def join(cls, parts: Iterable["Bits"]) -> "Bits":
         """Concatenate many bitstrings efficiently."""
-        return cls("".join(p._s if isinstance(p, Bits) else Bits(p)._s for p in parts))
+        return cls._unsafe(
+            "".join(p._s if isinstance(p, Bits) else Bits(p)._s for p in parts)
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -56,7 +69,7 @@ class Bits:
 
     def __getitem__(self, index) -> Union[int, "Bits"]:
         if isinstance(index, slice):
-            return Bits(self._s[index])
+            return Bits._unsafe(self._s[index])
         return 1 if self._s[index] == "1" else 0
 
     def __iter__(self) -> Iterator[int]:
@@ -64,7 +77,7 @@ class Bits:
 
     def __add__(self, other: BitsLike) -> "Bits":
         other_b = other if isinstance(other, Bits) else Bits(other)
-        return Bits(self._s + other_b._s)
+        return Bits._unsafe(self._s + other_b._s)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Bits):

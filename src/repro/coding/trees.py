@@ -144,6 +144,8 @@ def decode_tree(bits: Bits) -> LabeledRootedTree:
     stack = [root]
     for step in steps:
         fields = decode_concat(step)
+        if not fields:
+            raise CodingError("empty walk step in tree code")
         kind = decode_uint(fields[0])
         if kind == 0:
             if len(fields) != 3:

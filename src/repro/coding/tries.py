@@ -124,6 +124,8 @@ def decode_trie(bits: Bits) -> Trie:
             raise CodingError("trie code ended prematurely")
         fields = decode_concat(records[pos])
         pos += 1
+        if not fields:
+            raise CodingError("empty trie node record")
         kind = decode_uint(fields[0])
         if kind == 0:
             if len(fields) != 1:

@@ -1,0 +1,57 @@
+"""Cross-model conformance: the differential-testing subsystem.
+
+The paper's guarantees — a correct election verifiable purely from node
+outputs, time bounds in terms of D and phi, advice-size tradeoffs — are
+claimed independently of the execution model.  This package turns that
+claim into a streaming oracle: every registered election algorithm
+(:mod:`repro.conformance.algorithms`) runs under all three simulation
+models (synchronous reference, byte-honest strict wire mode, and the
+asynchronous engine under a roster of adversarial schedules from
+:mod:`repro.sim.schedulers`), and the runs are cross-checked
+(:mod:`repro.conformance.oracle`):
+
+* outputs and per-node round accounting must be *bit-identical* across
+  models (the synchronizer and wire-codec contracts);
+* ``verify_election`` outcomes must agree on the leader up to port-graph
+  automorphism (:func:`repro.core.verify.leaders_equivalent`);
+* election times must respect each algorithm's envelope and the global
+  ``D + phi + slack`` bound the engine's ``messages`` task derives;
+* advice sizes must be monotone as the paper's tradeoff predicts (the
+  naive rank labeling dominates both the trie and the full map);
+* the refinement fast path and the view machinery must agree on
+  feasibility and the election index, and feasible graphs must be rigid.
+
+Everything streams through the experiment engine as the multi-record
+``conformance`` task, so corpus-scale differential sweeps gain
+``repro conformance --out FILE --resume`` for free.
+"""
+
+from repro.conformance.algorithms import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    Prepared,
+    Profile,
+    get_algorithm,
+    list_algorithms,
+    profile_graph,
+    register_algorithm,
+)
+from repro.conformance.oracle import (
+    ConformanceConfig,
+    conformance_entry,
+    conformance_task_name,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "Prepared",
+    "Profile",
+    "get_algorithm",
+    "list_algorithms",
+    "profile_graph",
+    "register_algorithm",
+    "ConformanceConfig",
+    "conformance_entry",
+    "conformance_task_name",
+]

@@ -1,0 +1,306 @@
+"""The uniform runner protocol over every election algorithm.
+
+Historically each algorithm shipped its own ``run_*`` wrapper with its
+own advice construction, round budget and assertions; nothing could
+enumerate "all algorithms" and drive them through an arbitrary engine.
+This module is that missing seam: an :class:`AlgorithmSpec` registry
+describing, for each algorithm, when it applies, how to prepare a run
+(factory + advice + round budget), what election time it promises, and
+which *leader rule* it follows — so the conformance oracle can run any
+algorithm under any simulation model and know what must agree.
+
+Leader rules
+    ``min-view``
+        Elects the node whose depth-phi view is canonically smallest
+        (map-based, known-d-phi, tree-no-advice).  All min-view
+        algorithms on the same graph must elect the *same node exactly*.
+    ``trie-label``
+        Elects the node RetrieveLabel assigns label 1 (core Elect); the
+        trie order is not the canonical view order, so this leader may
+        legitimately differ from the min-view one.
+    ``code-rank``
+        Elects the node with the smallest nested view code (naive-rank);
+        again a different total order.
+    ``pinned``
+        The oracle hand-picks the leader (labeling-scheme).
+
+Across *models* the leader of one algorithm is always the same node (the
+algorithms are deterministic); across *algorithms* only same-rule leaders
+are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coding.bitstring import Bits
+from repro.errors import ConformanceError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.local_model import NodeAlgorithm
+from repro.views.refinement import stable_partition
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Cheap per-graph facts every applicability gate and advice builder
+    needs; computed once per corpus entry (refinement fast path, no view
+    allocation)."""
+
+    n: int
+    m: int
+    diameter: int
+    feasible: bool
+    phi: Optional[int]  # None iff infeasible
+    stabilization_depth: int
+    num_classes: int
+    is_tree: bool
+
+
+def profile_graph(g: PortGraph) -> Profile:
+    """Profile a graph through the refinement fast path."""
+    stable = stable_partition(g)
+    return Profile(
+        n=g.n,
+        m=g.num_edges,
+        diameter=g.diameter(),
+        feasible=stable.discrete,
+        phi=stable.depth if stable.discrete else None,
+        stabilization_depth=stable.depth,
+        num_classes=stable.num_classes,
+        is_tree=g.num_edges == g.n - 1,
+    )
+
+
+#: Election-time promise: ("==", t) for exact, ("<=", t) for an upper bound.
+TimeBound = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Prepared:
+    """Everything one algorithm needs to run on one graph, under any
+    engine: the per-node factory, the oracle's advice (identical string
+    or per-node map), the round budget, and the promised election time.
+
+    ``advice_bits`` is the size entering the cross-algorithm monotonicity
+    check; ``None`` opts out (per-node advice is a different currency).
+    """
+
+    factory: Callable[[], NodeAlgorithm]
+    max_rounds: int
+    time_bound: TimeBound
+    advice: Optional[Bits] = None
+    advice_map: Optional[Dict[int, Bits]] = None
+    advice_bits: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered election algorithm.
+
+    ``applicable(g, profile)`` returns ``None`` to run or a human-readable
+    skip reason; ``prepare(g, profile)`` is only called when applicable.
+    """
+
+    name: str
+    leader_rule: str  # "min-view" | "trie-label" | "code-rank" | "pinned"
+    applicable: Callable[[PortGraph, Profile], Optional[str]]
+    prepare: Callable[[PortGraph, Profile], Prepared]
+
+
+ALGORITHMS: Dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register a spec under its name (unique)."""
+    if spec.name in ALGORITHMS:
+        raise ConformanceError(
+            f"election algorithm '{spec.name}' is already registered"
+        )
+    ALGORITHMS[spec.name] = spec
+    return spec
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Resolve a spec by name; raise with the list of known names."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise ConformanceError(
+            f"unknown election algorithm '{name}'; known: "
+            f"{', '.join(sorted(ALGORITHMS))}"
+        ) from None
+
+
+def list_algorithms() -> List[AlgorithmSpec]:
+    """All registered algorithms, sorted by name."""
+    return [ALGORITHMS[name] for name in sorted(ALGORITHMS)]
+
+
+# ----------------------------------------------------------------------
+# applicability gates
+# ----------------------------------------------------------------------
+def _needs_feasible(g: PortGraph, profile: Profile) -> Optional[str]:
+    if not profile.feasible:
+        return "graph is infeasible (identical views); no advice can help"
+    return None
+
+
+#: The nested view code of the naive baseline grows exponentially with
+#: phi (by design — it is the strawman); keep it honest and fast.
+NAIVE_RANK_MAX_PHI = 2
+NAIVE_RANK_MAX_N = 20
+
+
+def _naive_gate(g: PortGraph, profile: Profile) -> Optional[str]:
+    reason = _needs_feasible(g, profile)
+    if reason:
+        return reason
+    if profile.phi > NAIVE_RANK_MAX_PHI or profile.n > NAIVE_RANK_MAX_N:
+        return (
+            f"nested view codes are exponential in phi; gated to "
+            f"phi <= {NAIVE_RANK_MAX_PHI}, n <= {NAIVE_RANK_MAX_N} "
+            f"(got phi = {profile.phi}, n = {profile.n})"
+        )
+    return None
+
+
+def _tree_gate(g: PortGraph, profile: Profile) -> Optional[str]:
+    if not profile.is_tree:
+        return "requires a tree (m = n - 1)"
+    return _needs_feasible(g, profile)
+
+
+def _always(g: PortGraph, profile: Profile) -> Optional[str]:
+    return None
+
+
+# ----------------------------------------------------------------------
+# the built-in algorithms
+# ----------------------------------------------------------------------
+def _prepare_elect(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.core.advice import compute_advice
+    from repro.core.elect import ElectAlgorithm
+
+    bundle = compute_advice(g)
+    return Prepared(
+        factory=ElectAlgorithm,
+        advice=bundle.bits,
+        advice_bits=bundle.size_bits,
+        max_rounds=bundle.phi + 2,
+        time_bound=("==", bundle.phi),
+    )
+
+
+def _prepare_known_d_phi(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.core.known_d_phi import KnownDPhiAlgorithm, known_d_phi_advice
+
+    advice = known_d_phi_advice(profile.diameter, profile.phi)
+    budget = profile.diameter + profile.phi
+    return Prepared(
+        factory=KnownDPhiAlgorithm,
+        advice=advice,
+        advice_bits=None,  # O(log D + log phi): not in the size tradeoff
+        max_rounds=budget + 1,
+        time_bound=("==", budget),
+    )
+
+
+def _prepare_map_based(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.baselines.map_based import MapBasedAlgorithm, map_advice
+
+    advice = map_advice(g, profile.phi)
+    return Prepared(
+        factory=MapBasedAlgorithm,
+        advice=advice,
+        advice_bits=len(advice),
+        max_rounds=profile.phi + 1,
+        time_bound=("==", profile.phi),
+    )
+
+
+def _prepare_naive_rank(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.baselines.naive_rank import NaiveRankAlgorithm, naive_rank_advice
+
+    advice = naive_rank_advice(g, profile.phi)
+    return Prepared(
+        factory=NaiveRankAlgorithm,
+        advice=advice,
+        advice_bits=len(advice),
+        max_rounds=profile.phi + 1,
+        time_bound=("==", profile.phi),
+    )
+
+
+def _prepare_tree_no_advice(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.baselines.tree_no_advice import TreeNoAdviceAlgorithm
+
+    return Prepared(
+        factory=TreeNoAdviceAlgorithm,
+        max_rounds=profile.diameter + 1,
+        time_bound=("<=", profile.diameter),
+    )
+
+
+def _prepare_labeling_scheme(g: PortGraph, profile: Profile) -> Prepared:
+    from repro.baselines.labeling_scheme import (
+        LabelingSchemeAlgorithm,
+        labeling_advice_map,
+    )
+
+    return Prepared(
+        factory=LabelingSchemeAlgorithm,
+        advice_map=labeling_advice_map(g, leader=0),
+        max_rounds=1,
+        time_bound=("==", 0),
+    )
+
+
+register_algorithm(
+    AlgorithmSpec(
+        name="elect",
+        leader_rule="trie-label",
+        applicable=_needs_feasible,
+        prepare=_prepare_elect,
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="known-d-phi",
+        leader_rule="min-view",
+        applicable=_needs_feasible,
+        prepare=_prepare_known_d_phi,
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="map-based",
+        leader_rule="min-view",
+        applicable=_needs_feasible,
+        prepare=_prepare_map_based,
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="naive-rank",
+        leader_rule="code-rank",
+        applicable=_naive_gate,
+        prepare=_prepare_naive_rank,
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="tree-no-advice",
+        leader_rule="min-view",
+        applicable=_tree_gate,
+        prepare=_prepare_tree_no_advice,
+    )
+)
+register_algorithm(
+    AlgorithmSpec(
+        name="labeling-scheme",
+        leader_rule="pinned",
+        applicable=_always,
+        prepare=_prepare_labeling_scheme,
+    )
+)

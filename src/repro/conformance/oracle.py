@@ -1,0 +1,497 @@
+"""The differential oracle: one corpus entry, every algorithm, every model.
+
+:func:`conformance_entry` maps one ``(name, graph)`` corpus entry to a
+*group* of engine records — one sub-record per applicable algorithm, then
+a summary record carrying the cross-algorithm checks.  Disagreements are
+**recorded, never raised**: the sweep always completes, and "zero
+disagreement records" is an assertable property of the output file.
+
+Per algorithm, the synchronous run is the reference; the oracle then
+demands, for the strict (wire-encoded) run and for each adversarial
+asynchronous schedule:
+
+* ``outputs`` bit-identical to the reference (and for strict mode, the
+  per-node ``output_round`` map and the total message count too — the
+  wire codec must be invisible down to the round accounting);
+* per-node ``output_round`` identical for async runs as well (a node's
+  output round is a function of its local round sequence, which the
+  synchronizer must reproduce);
+* the verified leader equivalent to the reference leader up to
+  port-graph automorphism (degenerates to equality on feasible graphs,
+  but states the model-independence claim at its proper strength);
+* the election time inside the algorithm's promised bound and inside the
+  global ``D + phi + slack`` envelope.
+
+Across algorithms, all ``min-view`` leaders must coincide exactly, and
+advice sizes must respect the paper's tradeoff (the naive rank labeling
+dominates both the trie and the full map).  Independently of any
+algorithm, the refinement fast path and the view machinery must agree on
+feasibility and the election index, and feasible graphs must be rigid
+(no nontrivial port automorphism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.conformance.algorithms import (
+    Prepared,
+    Profile,
+    list_algorithms,
+    profile_graph,
+)
+from repro.core.verify import leaders_equivalent, verify_election
+from repro.engine.records import Record
+from repro.engine.tasks import MESSAGES_ROUND_SLACK
+from repro.errors import ConformanceError, ReproError
+from repro.graphs.port_graph import PortGraph
+from repro.sim.async_model import AsyncEngine
+from repro.sim.local_model import RunResult, SyncEngine
+from repro.sim.schedulers import Schedule, make_schedules
+from repro.sim.strict import wire_wrapped
+
+#: Default schedule fan-out per corpus entry.
+DEFAULT_SCHEDULES = 3
+
+#: The advice-size tradeoff is asymptotic; at n = 3 the constant terms
+#: cross (the 3-node path codes to 650 naive-rank bits vs 654 trie bits).
+#: Exhaustive sweeps over n >= 4 show the naive baseline strictly
+#: dominating with a margin that grows with n, so the monotonicity check
+#: applies from there.
+ADVICE_MONOTONE_MIN_N = 4
+
+
+@dataclass(frozen=True)
+class ConformanceConfig:
+    """Knobs of one conformance sweep.
+
+    ``schedules``/``seed`` pick the adversarial roster
+    (:func:`repro.sim.schedulers.make_schedules` — deterministic, so
+    records are reproducible).  ``algorithms`` restricts the registry to
+    a subset (``None`` = all).  ``strict_async`` additionally composes
+    the wire codec with the *first* schedule.  ``rigidity_limit`` caps
+    the graph size for the VF2 rigidity cross-check (0 disables it).
+    """
+
+    schedules: int = DEFAULT_SCHEDULES
+    seed: int = 0
+    algorithms: Optional[Tuple[str, ...]] = None
+    strict_async: bool = True
+    rigidity_limit: int = 48
+
+    def schedule_roster(self) -> List[Schedule]:
+        return make_schedules(self.schedules, self.seed)
+
+
+def conformance_task_name(schedules: int = DEFAULT_SCHEDULES, seed: int = 0) -> str:
+    """The canonical engine-task name for a conformance configuration —
+    the string that keys records and resume state (parameter order is
+    fixed so equal configs always produce equal task names)."""
+    if schedules == DEFAULT_SCHEDULES and seed == 0:
+        return "conformance"
+    return f"conformance:schedules={schedules},seed={seed}"
+
+
+def _disagreement(
+    kind: str, algorithm: Optional[str], model: Optional[str], detail: str
+) -> Dict[str, Any]:
+    """One recorded disagreement cell (kept JSON-scalar)."""
+    out: Dict[str, Any] = {"kind": kind, "detail": detail}
+    if algorithm is not None:
+        out["algorithm"] = algorithm
+    if model is not None:
+        out["model"] = model
+    return out
+
+
+def _time_ok(bound: Tuple[str, int], t: int) -> bool:
+    op, limit = bound
+    if op == "==":
+        return t == limit
+    if op == "<=":
+        return t <= limit
+    raise ConformanceError(f"unknown time bound operator {op!r}")
+
+
+def _model_runs(
+    g: PortGraph,
+    prepared: Prepared,
+    profile: Profile,
+    config: ConformanceConfig,
+) -> List[Tuple[str, Callable[[], RunResult]]]:
+    """One ``(model name, run thunk)`` per model; reference first.
+
+    Thunks are executed (and their failures recorded) by the caller.
+    Asynchronous runs get a larger round budget: under an adversarial
+    schedule a node may run ahead of the slowest node by up to their
+    distance (it keeps relaying after outputting), so the safe bound is
+    the synchronous budget plus the diameter, not plus a constant.
+    """
+    common = dict(advice=prepared.advice, advice_map=prepared.advice_map)
+    async_rounds = prepared.max_rounds + profile.diameter
+    strict_factory = wire_wrapped(prepared.factory)
+
+    def sync_run(factory):
+        return SyncEngine(
+            g, factory, max_rounds=prepared.max_rounds, **common
+        ).run()
+
+    def async_run(factory, schedule):
+        return AsyncEngine(
+            g,
+            factory,
+            scheduler=schedule.make(),
+            max_rounds=async_rounds,
+            **common,
+        ).run()
+
+    runs: List[Tuple[str, Callable[[], RunResult]]] = [
+        ("local", lambda: sync_run(prepared.factory)),
+        ("strict", lambda: sync_run(strict_factory)),
+    ]
+    roster = config.schedule_roster()
+    for schedule in roster:
+        runs.append(
+            (
+                f"async[{schedule.name}]",
+                lambda schedule=schedule: async_run(prepared.factory, schedule),
+            )
+        )
+    if config.strict_async and roster:
+        schedule = roster[0]
+        runs.append(
+            (
+                f"strict-async[{schedule.name}]",
+                lambda: async_run(strict_factory, schedule),
+            )
+        )
+    return runs
+
+
+def _check_algorithm(
+    entry: str,
+    g: PortGraph,
+    profile: Profile,
+    spec,
+    config: ConformanceConfig,
+    task_name: str,
+) -> Tuple[Record, Optional[int], Optional[int], str]:
+    """Run one algorithm under all models and cross-check; returns the
+    sub-record plus ``(leader, advice_bits, leader_rule)`` for the
+    summary's cross-algorithm checks."""
+    def sub_record(**overrides: Any) -> Record:
+        """The algorithm sub-record skeleton; every branch fills the same
+        keys so records stay schema-consistent for the summarizer and the
+        golden byte pins."""
+        record: Record = {
+            "task": task_name,
+            "name": f"{entry}/{spec.name}",
+            "entry": entry,
+            "n": profile.n,
+            "algorithm": spec.name,
+            "leader_rule": spec.leader_rule,
+            "advice_bits": None,
+            "leader": None,
+            "election_time": None,
+            "total_messages": None,
+            "models": [],
+            "cells": 0,
+            "disagreements": [],
+        }
+        record.update(overrides)
+        return record
+
+    disagreements: List[Dict[str, Any]] = []
+    try:
+        prepared = spec.prepare(g, profile)
+    except ReproError as exc:
+        # the oracle's contract: failures are recorded, never raised
+        return (
+            sub_record(
+                disagreements=[
+                    _disagreement(
+                        "prepare-failed", spec.name, None,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                ]
+            ),
+            None,
+            None,
+            spec.leader_rule,
+        )
+
+    model_names: List[str] = []
+    runs: List[Tuple[str, RunResult]] = []
+    for model, thunk in _model_runs(g, prepared, profile, config):
+        model_names.append(model)
+        try:
+            runs.append((model, thunk()))
+        except ReproError as exc:
+            # e.g. a round-budget overrun — exactly the class of
+            # divergence the oracle exists to catch
+            disagreements.append(
+                _disagreement(
+                    "run-failed", spec.name, model,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+    base: Optional[RunResult] = None
+    if runs and runs[0][0] == "local":
+        base = runs[0][1]
+
+    base_leader: Optional[int] = None
+    if base is None:
+        record = sub_record(
+            advice_bits=prepared.advice_bits,
+            models=model_names,
+            cells=len(model_names),
+            disagreements=disagreements,
+        )
+        return record, None, prepared.advice_bits, spec.leader_rule
+
+    try:
+        base_outcome = verify_election(g, base.outputs)
+        base_leader = base_outcome.leader
+    except ReproError as exc:
+        disagreements.append(
+            _disagreement(
+                "invalid-election", spec.name, "local", f"{exc}"
+            )
+        )
+
+    if not _time_ok(prepared.time_bound, base.election_time):
+        op, limit = prepared.time_bound
+        disagreements.append(
+            _disagreement(
+                "time-bound",
+                spec.name,
+                "local",
+                f"election time {base.election_time} violates promised "
+                f"{op} {limit}",
+            )
+        )
+    if profile.feasible:
+        envelope = profile.diameter + profile.phi + MESSAGES_ROUND_SLACK
+        if base.election_time > envelope:
+            disagreements.append(
+                _disagreement(
+                    "round-envelope",
+                    spec.name,
+                    "local",
+                    f"election time {base.election_time} exceeds the "
+                    f"D + phi + slack envelope {envelope}",
+                )
+            )
+
+    for model, result in runs[1:]:
+        if result.outputs != base.outputs:
+            diff = [
+                v
+                for v in g.nodes()
+                if result.outputs.get(v) != base.outputs.get(v)
+            ]
+            disagreements.append(
+                _disagreement(
+                    "outputs",
+                    spec.name,
+                    model,
+                    f"outputs differ from the local model at nodes "
+                    f"{diff[:5]}",
+                )
+            )
+        if result.output_round != base.output_round:
+            diff = [
+                v
+                for v in g.nodes()
+                if result.output_round.get(v) != base.output_round.get(v)
+            ]
+            disagreements.append(
+                _disagreement(
+                    "round-parity",
+                    spec.name,
+                    model,
+                    f"per-node output rounds differ from the local model at "
+                    f"nodes {diff[:5]}",
+                )
+            )
+        if model == "strict" and result.total_messages != base.total_messages:
+            disagreements.append(
+                _disagreement(
+                    "message-count",
+                    spec.name,
+                    model,
+                    f"strict mode sent {result.total_messages} messages, "
+                    f"local model sent {base.total_messages}",
+                )
+            )
+        if base_leader is not None:
+            if result.outputs == base.outputs:
+                # bit-identical outputs: the outcome is a pure function
+                # of the outputs, so leader equivalence is trivially met
+                # and re-verifying would only repeat the reference work
+                continue
+            try:
+                outcome = verify_election(g, result.outputs)
+            except ReproError as exc:
+                disagreements.append(
+                    _disagreement("invalid-election", spec.name, model, f"{exc}")
+                )
+                continue
+            if not leaders_equivalent(g, base_leader, outcome.leader):
+                disagreements.append(
+                    _disagreement(
+                        "leader",
+                        spec.name,
+                        model,
+                        f"leader {outcome.leader} is not automorphism-"
+                        f"equivalent to the local model's {base_leader}",
+                    )
+                )
+
+    record = sub_record(
+        advice_bits=prepared.advice_bits,
+        leader=base_leader,
+        election_time=base.election_time,
+        total_messages=base.total_messages,
+        models=model_names,
+        cells=len(model_names),
+        disagreements=disagreements,
+    )
+    return record, base_leader, prepared.advice_bits, spec.leader_rule
+
+
+def conformance_entry(
+    name: str, g: PortGraph, config: Optional[ConformanceConfig] = None
+) -> List[Record]:
+    """Differential-test one corpus entry; return its record group
+    (per-algorithm sub-records, summary last — the group terminator the
+    result store keys resume on)."""
+    if config is None:
+        config = ConformanceConfig()
+    task_name = conformance_task_name(config.schedules, config.seed)
+    profile = profile_graph(g)
+    summary_disagreements: List[Dict[str, Any]] = []
+
+    # --- cross-implementation checks, independent of any algorithm -----
+    from repro.views.election_index import election_index, is_feasible
+
+    view_feasible = is_feasible(g)
+    if view_feasible != profile.feasible:
+        summary_disagreements.append(
+            _disagreement(
+                "index-parity",
+                None,
+                None,
+                f"refinement says feasible={profile.feasible}, view "
+                f"machinery says feasible={view_feasible}",
+            )
+        )
+    elif profile.feasible:
+        view_phi = election_index(g)
+        if view_phi != profile.phi:
+            summary_disagreements.append(
+                _disagreement(
+                    "index-parity",
+                    None,
+                    None,
+                    f"refinement phi={profile.phi} but view machinery "
+                    f"phi={view_phi}",
+                )
+            )
+
+    rigidity_checked = False
+    if (
+        profile.feasible
+        and 0 < config.rigidity_limit
+        and profile.n <= config.rigidity_limit
+    ):
+        from repro.graphs.isomorphism import port_automorphism_exists
+
+        rigidity_checked = True
+        if port_automorphism_exists(g):
+            summary_disagreements.append(
+                _disagreement(
+                    "rigidity",
+                    None,
+                    None,
+                    "feasible graph has a nontrivial port automorphism "
+                    "(contradicts Yamashita-Kameda)",
+                )
+            )
+
+    # --- per-algorithm runs -------------------------------------------
+    records: List[Record] = []
+    ran: List[str] = []
+    skipped: Dict[str, str] = {}
+    min_view_leaders: Dict[str, int] = {}
+    advice_sizes: Dict[str, int] = {}
+    total_cells = 0
+    for spec in list_algorithms():
+        if config.algorithms is not None and spec.name not in config.algorithms:
+            continue
+        reason = spec.applicable(g, profile)
+        if reason is not None:
+            skipped[spec.name] = reason
+            continue
+        record, leader, advice_bits, rule = _check_algorithm(
+            name, g, profile, spec, config, task_name
+        )
+        records.append(record)
+        ran.append(spec.name)
+        total_cells += record["cells"]
+        if rule == "min-view" and leader is not None:
+            min_view_leaders[spec.name] = leader
+        if advice_bits is not None:
+            advice_sizes[spec.name] = advice_bits
+
+    # --- cross-algorithm checks ---------------------------------------
+    if len(set(min_view_leaders.values())) > 1:
+        summary_disagreements.append(
+            _disagreement(
+                "leader-group",
+                None,
+                None,
+                f"min-view algorithms elected different nodes: "
+                f"{min_view_leaders}",
+            )
+        )
+    if "naive-rank" in advice_sizes and profile.n >= ADVICE_MONOTONE_MIN_N:
+        naive = advice_sizes["naive-rank"]
+        for other, bits in advice_sizes.items():
+            if other != "naive-rank" and naive < bits:
+                summary_disagreements.append(
+                    _disagreement(
+                        "advice-monotone",
+                        None,
+                        None,
+                        f"naive-rank advice ({naive} bits) is smaller than "
+                        f"{other}'s ({bits} bits); the paper's tradeoff "
+                        f"predicts the rank labeling dominates",
+                    )
+                )
+
+    algo_disagreements = sum(len(r["disagreements"]) for r in records)
+    summary: Record = {
+        "task": task_name,
+        "name": name,
+        "entry": name,
+        "n": profile.n,
+        "m": profile.m,
+        "diameter": profile.diameter,
+        "feasible": profile.feasible,
+        "phi": profile.phi,
+        "stabilization_depth": profile.stabilization_depth,
+        "num_classes": profile.num_classes,
+        "schedules": config.schedules,
+        "algorithms": ran,
+        "skipped": skipped,
+        "rigidity_checked": rigidity_checked,
+        "advice_bits": advice_sizes,
+        "cells": total_cells,
+        "disagreements": summary_disagreements,
+        "total_disagreements": algo_disagreements + len(summary_disagreements),
+    }
+    records.append(summary)
+    return records

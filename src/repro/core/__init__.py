@@ -39,7 +39,12 @@ from repro.core.post_election import (
     run_convergecast,
     sequential_factory,
 )
-from repro.core.verify import ElectionOutcome, verify_election
+from repro.core.verify import (
+    ElectionOutcome,
+    leaders_equivalent,
+    outcomes_equivalent,
+    verify_election,
+)
 
 __all__ = [
     "LabelingContext",
@@ -67,4 +72,6 @@ __all__ = [
     "sequential_factory",
     "ElectionOutcome",
     "verify_election",
+    "leaders_equivalent",
+    "outcomes_equivalent",
 ]

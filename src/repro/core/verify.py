@@ -78,3 +78,26 @@ def verify_election(g: PortGraph, outputs: Dict[int, Sequence[int]]) -> Election
         paths[v] = visited
     assert leader is not None
     return ElectionOutcome(leader=leader, paths=paths)
+
+
+def leaders_equivalent(g: PortGraph, leader_a: int, leader_b: int) -> bool:
+    """Whether two elected leaders are the same node *up to port-graph
+    automorphism* — the strongest equality an anonymous observer can ask
+    for.  On feasible graphs the automorphism group is trivial, so this
+    degenerates to equality; the general form is what the conformance
+    oracle checks across execution models, so the check stays meaningful
+    on every input.
+    """
+    if leader_a == leader_b:
+        return True
+    from repro.graphs.isomorphism import port_automorphism_maps
+
+    return port_automorphism_maps(g, leader_a, leader_b)
+
+
+def outcomes_equivalent(
+    g: PortGraph, a: ElectionOutcome, b: ElectionOutcome
+) -> bool:
+    """Whether two verified election outcomes agree up to port-graph
+    automorphism (see :func:`leaders_equivalent`)."""
+    return leaders_equivalent(g, a.leader, b.leader)

@@ -15,8 +15,10 @@ intern table without bound.  This package provides the shared engine:
   store behind ``repro sweep --out/--resume``: records keyed by
   ``(name, task)``, interrupted sweeps resume to a byte-identical file;
 * :mod:`repro.engine.tasks` — the registry of named experiments (``elect``,
-  ``advice``, ``index``, ``messages``, ``ablation``); workers receive task
-  *names*, never closures;
+  ``advice``, ``index``, ``messages``, ``ablation``, and the multi-record,
+  parameterized ``conformance``); workers receive task *names*, never
+  closures — parameterized names (``conformance:schedules=5``) are
+  re-resolved inside each worker;
 * :mod:`repro.engine.records` — the JSON record schema and canonical
   serialization (documented in ``benchmarks/README.md``).
 
@@ -46,7 +48,13 @@ from repro.engine.stream import (
     STREAM_WINDOW_PER_WORKER,
     run_stream,
 )
-from repro.engine.tasks import TASKS, get_task, register_task
+from repro.engine.tasks import (
+    TASKS,
+    TASK_FACTORIES,
+    get_task,
+    register_task,
+    register_task_factory,
+)
 
 __all__ = [
     "DEFAULT_STREAM_CHUNK_SIZE",
@@ -69,6 +77,8 @@ __all__ = [
     "records_from_jsonl",
     "records_table",
     "TASKS",
+    "TASK_FACTORIES",
     "get_task",
     "register_task",
+    "register_task_factory",
 ]

@@ -107,14 +107,23 @@ def chunk_corpus(
 def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
     """Process one chunk (runs in a worker, or inline when serial): decode
     each graph, apply the task, and drop the process-local view caches so
-    the intern table stays bounded by the chunk."""
+    the intern table stays bounded by the chunk.
+
+    A multi-record task returns a *list* (its record group, summary
+    last); the group is flattened in order under the entry's corpus
+    position, so downstream sorting — which is stable — keeps groups
+    contiguous and internally ordered."""
     task_name, chunk, clear_caches = payload
     task = get_task(task_name)
     out: List[Tuple[int, Record]] = []
     try:
         for pos, name, graph_json in chunk:
             try:
-                out.append((pos, task(name, from_json(graph_json))))
+                result = task(name, from_json(graph_json))
+                if isinstance(result, list):
+                    out.extend((pos, record) for record in result)
+                else:
+                    out.append((pos, result))
             except EngineError:
                 raise  # already carries context (and pickles: str args only)
             except Exception as exc:

@@ -11,15 +11,24 @@ registry's naming contract — which gives the resume semantics:
   sweep can skip them (:func:`repro.analysis.sweep.sweep_to_store` is
   the filter-and-append loop), then appends the rest.
 
+Record groups
+    Multi-record tasks (:mod:`repro.engine.tasks`) append several
+    records per corpus entry: sub-records carrying an ``entry`` field,
+    then a summary whose ``name`` equals the entry name.  A record
+    *terminates a group* iff it has no ``entry`` field or its ``entry``
+    equals its ``name`` — so for single-record tasks every record is its
+    own group and nothing changes.
+
 Byte-identity under resume
     A sweep appends records in deterministic corpus order, so an
     interrupted run leaves a *prefix* of the uninterrupted file (plus at
-    most one torn line from a kill mid-write, which resume repairs by
-    truncating to the last complete line).  The resumed run skips
-    exactly the prefix keys and appends the remaining records in the
-    same order — the merged file is byte-identical to an uninterrupted
-    run.  Asserted in ``tests/test_engine_store.py`` and in CI's
-    kill/resume smoke job.
+    most one torn line from a kill mid-write, and at most one trailing
+    *unterminated group* from a kill mid-entry).  Resume repairs both by
+    truncating to the last group-terminating record; the resumed run
+    skips exactly the surviving keys and appends the remaining records
+    in the same order — the merged file is byte-identical to an
+    uninterrupted run.  Asserted in ``tests/test_engine_store.py`` and
+    in CI's kill/resume smoke jobs.
 
 Corruption beyond the torn tail (an unparsable line *followed by* more
 lines) is never repaired silently: it raises :class:`StoreError`, since
@@ -68,17 +77,21 @@ class ResultStore:
             self._fh = open(path, "w", encoding="utf-8")
 
     def _load_and_repair(self) -> None:
-        """Read existing keys; truncate a torn final line (kill mid-write)."""
+        """Read existing keys; truncate a torn final line (kill mid-write)
+        and a trailing unterminated record group (kill mid-entry)."""
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb") as fh:
             data = fh.read()
-        valid_end = 0
+        valid_end = 0  # after the last parsable line
+        group_end = 0  # after the last group-terminating record
+        pending: list = []  # keys of the (possibly unterminated) open group
         lines = data.split(b"\n")
         # everything before the final element is a newline-terminated line
         for i, line in enumerate(lines[:-1]):
             try:
-                key = record_key(json.loads(line.decode("utf-8")))
+                record = json.loads(line.decode("utf-8"))
+                key = record_key(record)
             except (UnicodeDecodeError, ValueError, StoreError):
                 # invalid JSON, or valid JSON that is not an engine record
                 if any(rest.strip() for rest in lines[i + 1 :]):
@@ -88,12 +101,19 @@ class ResultStore:
                         f"(only a torn final line is repairable)"
                     ) from None
                 break  # torn tail that happens to contain a newline
-            self.done.add(key)
+            pending.append(key)
             valid_end += len(line) + 1
-        # anything past valid_end is a torn line from a kill mid-write
-        if valid_end != len(data):
+            if record.get("entry", record["name"]) == record["name"]:
+                # group terminator: the whole group is durable
+                self.done.update(pending)
+                pending.clear()
+                group_end = valid_end
+        # anything past group_end is a torn line from a kill mid-write or
+        # the sub-records of a group whose summary never made it — either
+        # way a suffix the resumed sweep will regenerate in full
+        if group_end != len(data):
             with open(self.path, "r+b") as fh:
-                fh.truncate(valid_end)
+                fh.truncate(group_end)
 
     def __contains__(self, key: StoreKey) -> bool:
         return key in self.done

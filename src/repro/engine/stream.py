@@ -13,7 +13,9 @@ Determinism
     yielded in submission order (the serial path trivially, the parallel
     path by draining a FIFO of ``apply_async`` handles).  So
     ``run_stream`` output equals ``run_experiments`` output on the same
-    corpus, record for record, at every worker count.
+    corpus, record for record, at every worker count.  Multi-record
+    tasks (e.g. ``conformance``) yield their whole record group in
+    order, contiguously, under the entry's corpus position.
 
 Bounded memory
     The serial path holds exactly one encoded chunk at a time.  The

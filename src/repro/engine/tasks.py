@@ -1,10 +1,21 @@
 """The engine's task registry: named, picklable-by-reference experiments.
 
 A *task* maps one corpus entry ``(name, graph)`` to one JSON record (see
-:mod:`repro.engine.records`).  Tasks are registered under a string name so
-a worker process only ever receives the name over the pipe and resolves
-the callable from its own copy of this module — functions stay picklable
-by reference under both fork and spawn start methods.
+:mod:`repro.engine.records`) — or, for *multi-record* tasks, to a **group**
+of records whose last member is the group's summary (its ``name`` equals
+the corpus entry name; sub-records carry an ``entry`` field naming their
+parent and a unique ``name`` extending it).  The group shape is what lets
+the result store resume mid-sweep without splitting a group
+(:mod:`repro.engine.store`).
+
+Tasks are registered under a string name so a worker process only ever
+receives the name over the pipe and resolves the callable from its own
+copy of this module — functions stay picklable by reference under both
+fork and spawn start methods.  *Parameterized* tasks extend this:
+``register_task_factory`` registers a builder, and a task name of the
+form ``base:key=int,key=int`` is resolved by calling the builder with
+those keyword arguments **in the worker**, so closures never cross the
+pipe either.
 
 Tasks must be pure functions of the graph: no global RNG, no dependence
 on interning state beyond the current process.  This is what makes
@@ -14,22 +25,29 @@ parallel runs record-for-record identical to serial runs.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.engine.records import Record
 from repro.errors import EngineError
 from repro.graphs.port_graph import PortGraph
 
-TaskFn = Callable[[str, PortGraph], Record]
+#: A task returns one record, or a record group (summary last).
+TaskFn = Callable[[str, PortGraph], Union[Record, List[Record]]]
+
+#: ``factory(task_name, **params) -> TaskFn``; ``task_name`` is the full
+#: parameterized name, which produced records must carry in their
+#: ``task`` field so store keys match the sweep's task string.
+TaskFactory = Callable[..., TaskFn]
 
 TASKS: Dict[str, TaskFn] = {}
+TASK_FACTORIES: Dict[str, TaskFactory] = {}
 
 
 def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
     """Decorator: register a task function under ``name``."""
 
     def deco(fn: TaskFn) -> TaskFn:
-        if name in TASKS:
+        if name in TASKS or name in TASK_FACTORIES:
             raise ValueError(f"task '{name}' is already registered")
         TASKS[name] = fn
         return fn
@@ -37,14 +55,60 @@ def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
     return deco
 
 
+def register_task_factory(name: str) -> Callable[[TaskFactory], TaskFactory]:
+    """Decorator: register a parameterized-task builder under ``name``."""
+
+    def deco(factory: TaskFactory) -> TaskFactory:
+        if name in TASKS or name in TASK_FACTORIES:
+            raise ValueError(f"task '{name}' is already registered")
+        TASK_FACTORIES[name] = factory
+        return factory
+
+    return deco
+
+
+def _parse_task_params(name: str, argtext: str) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for token in argtext.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, eq, value = token.partition("=")
+        if not eq:
+            raise EngineError(
+                f"task '{name}': parameter '{token}' must be key=int"
+            )
+        try:
+            params[key.strip()] = int(value)
+        except ValueError:
+            raise EngineError(
+                f"task '{name}': parameter value '{value}' is not an integer"
+            ) from None
+    return params
+
+
 def get_task(name: str) -> TaskFn:
-    """Resolve a task name; raise with the list of known names."""
-    try:
-        return TASKS[name]
-    except KeyError:
-        raise EngineError(
-            f"unknown engine task '{name}'; known: {', '.join(sorted(TASKS))}"
-        ) from None
+    """Resolve a task name — plain (``elect``) or parameterized
+    (``conformance:schedules=5,seed=1``); raise with the known names."""
+    base, colon, argtext = name.partition(":")
+    if base in TASKS:
+        if colon:
+            raise EngineError(
+                f"task '{base}' takes no parameters; got '{name}'"
+            )
+        return TASKS[base]
+    if base in TASK_FACTORIES:
+        params = _parse_task_params(name, argtext) if colon else {}
+        try:
+            return TASK_FACTORIES[base](name, **params)
+        except TypeError as exc:
+            raise EngineError(
+                f"task '{name}': bad parameters ({exc})"
+            ) from None
+    known = sorted(TASKS) + [f"{n}[:k=v,...]" for n in sorted(TASK_FACTORIES)]
+    raise EngineError(
+        f"unknown engine task '{name}'; known: {', '.join(known)}"
+    ) from None
 
 
 def _nlogn_envelope(n: int) -> float:
@@ -196,3 +260,36 @@ def ablation_task(name: str, g: PortGraph) -> Record:
         "naive_rank_bits": naive_bits,
         "naive_over_trie": naive_bits / bundle.size_bits,
     }
+
+
+@register_task_factory("conformance")
+def conformance_task_factory(
+    task_name: str, schedules: Optional[int] = None, seed: int = 0
+) -> TaskFn:
+    """The multi-record differential oracle (see :mod:`repro.conformance`):
+    one sub-record per applicable election algorithm (every simulation
+    model and adversarial schedule cross-checked), then the per-entry
+    summary.  ``conformance:schedules=K,seed=S`` picks the schedule
+    roster; defaults match :func:`repro.conformance.conformance_task_name`.
+    """
+    from repro.conformance.oracle import (
+        DEFAULT_SCHEDULES,
+        ConformanceConfig,
+        conformance_entry,
+    )
+    from repro.sim.schedulers import make_schedules
+
+    if schedules is None:
+        schedules = DEFAULT_SCHEDULES
+    make_schedules(schedules, seed)  # fail fast, before any stream is opened
+    config = ConformanceConfig(schedules=schedules, seed=seed)
+
+    def run_conformance(name: str, g: PortGraph) -> List[Record]:
+        records = conformance_entry(name, g, config)
+        # records key the store by the sweep's task string, which may
+        # spell the same parameters differently (e.g. reordered keys)
+        for record in records:
+            record["task"] = task_name
+        return records
+
+    return run_conformance

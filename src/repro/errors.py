@@ -58,6 +58,12 @@ class StoreError(EngineError):
     truncated-tail case (see :mod:`repro.engine.store`)."""
 
 
+class ConformanceError(ReproError):
+    """The conformance subsystem was misconfigured (unknown algorithm or
+    schedule roster), as opposed to a *disagreement*, which is recorded in
+    the conformance record rather than raised."""
+
+
 class SimulationError(ReproError):
     """The distributed simulation reached an invalid state."""
 

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 import networkx as nx
 from networkx.algorithms import isomorphism as nxiso
 
+from repro.errors import GraphError
 from repro.graphs.port_graph import PortGraph
 
 
@@ -52,6 +53,36 @@ def port_isomorphism(g1: PortGraph, g2: PortGraph) -> Optional[Dict[int, int]]:
 def are_port_isomorphic(g1: PortGraph, g2: PortGraph) -> bool:
     """Whether a port-preserving isomorphism ``g1 -> g2`` exists."""
     return port_isomorphism(g1, g2) is not None
+
+
+def port_automorphism_maps(g: PortGraph, a: int, b: int) -> bool:
+    """Whether some port-preserving automorphism of ``g`` maps ``a`` to ``b``.
+
+    This is the orbit-equivalence an anonymous algorithm cannot see past:
+    two nodes in the same orbit are interchangeable outcomes of any
+    deterministic anonymous election.  The search is anchored by marking
+    ``a`` in one copy and ``b`` in the other, so VF2 only explores
+    mappings that already send ``a`` to ``b`` — cheap even on
+    vertex-transitive graphs whose full automorphism group is large.
+    """
+    if not (0 <= a < g.n and 0 <= b < g.n):
+        raise GraphError(f"nodes {a}, {b} must be in 0..{g.n - 1}")
+    if a == b:
+        return True
+    if g.degree(a) != g.degree(b):
+        return False
+    d1, d2 = _as_labeled_digraph(g), _as_labeled_digraph(g)
+    d1.nodes[a]["mark"] = 1
+    d2.nodes[b]["mark"] = 1
+    matcher = nxiso.DiGraphMatcher(
+        d1,
+        d2,
+        node_match=lambda x, y: (
+            x["degree"] == y["degree"] and x.get("mark", 0) == y.get("mark", 0)
+        ),
+        edge_match=lambda x, y: x["port"] == y["port"],
+    )
+    return matcher.is_isomorphic()
 
 
 def port_automorphism_exists(g: PortGraph) -> bool:

@@ -12,10 +12,12 @@ The engine enforces this boundary structurally: algorithms receive a
 :class:`NodeContext`, never the graph.
 
 :class:`SyncEngine` is the reference executor; :class:`AsyncEngine` runs
-the same node algorithms under adversarial (seeded) message delays using
-round time-stamps — the paper's remark that the synchronous process can be
+the same node algorithms under adversarial message delays using round
+time-stamps — the paper's remark that the synchronous process can be
 simulated asynchronously — and is required by the tests to produce
-identical outputs.
+identical outputs.  Delay adversaries are pluggable, named and seeded
+(:mod:`repro.sim.schedulers`): the conformance oracle fans every corpus
+entry out over a deterministic roster of them.
 
 :class:`ViewAccumulator` implements the COM(i) subroutine (Algorithm 1):
 repeated full exchanges after which a node holds its augmented truncated
@@ -31,6 +33,14 @@ from repro.sim.local_model import (
 )
 from repro.sim.com import ComMessage, ViewAccumulator
 from repro.sim.async_model import AsyncEngine, run_async
+from repro.sim.schedulers import (
+    DelayOneNodeScheduler,
+    RandomDelayScheduler,
+    ReverseDeliveryScheduler,
+    Schedule,
+    Scheduler,
+    make_schedules,
+)
 from repro.sim.strict import WireWrapped, wire_wrapped
 from repro.sim.trace import RoundTrace, Tracer, message_cost, view_dag_size
 
@@ -44,6 +54,12 @@ __all__ = [
     "ViewAccumulator",
     "AsyncEngine",
     "run_async",
+    "Scheduler",
+    "Schedule",
+    "RandomDelayScheduler",
+    "DelayOneNodeScheduler",
+    "ReverseDeliveryScheduler",
+    "make_schedules",
     "WireWrapped",
     "wire_wrapped",
     "Tracer",

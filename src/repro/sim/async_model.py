@@ -10,6 +10,10 @@ here, seeded-random per message — and FIFO per link is *not* assumed.
 
 Any :class:`~repro.sim.local_model.NodeAlgorithm` runs unmodified; the
 tests require bit-identical outputs to :class:`SyncEngine`.
+
+Message delays come from a pluggable :class:`~repro.sim.schedulers.Scheduler`
+adversary; the default (``seed=s`` with no explicit scheduler) is the
+historical seeded-uniform adversary, bit-for-bit.
 """
 
 from __future__ import annotations
@@ -22,11 +26,12 @@ from repro.coding.bitstring import Bits
 from repro.errors import SimulationError
 from repro.graphs.port_graph import PortGraph
 from repro.sim.local_model import NodeAlgorithm, NodeContext, RunResult
-from repro.util.rng import RngLike, make_rng
+from repro.sim.schedulers import RandomDelayScheduler, Scheduler
+from repro.util.rng import RngLike
 
 
 class AsyncEngine:
-    """Event-driven executor with per-message random delays."""
+    """Event-driven executor with adversarial per-message delays."""
 
     def __init__(
         self,
@@ -37,20 +42,44 @@ class AsyncEngine:
         max_delay: float = 10.0,
         max_rounds: int = 10_000,
         max_events: int = 5_000_000,
+        scheduler: Optional[Scheduler] = None,
+        advice_map: Optional[Dict[int, Bits]] = None,
     ):
+        """``scheduler`` overrides the default seeded-uniform adversary
+        (``seed``/``max_delay`` are then ignored).  ``advice_map`` gives
+        per-node advice, mirroring :class:`~repro.sim.local_model.SyncEngine`;
+        mutually exclusive with ``advice``.
+        """
+        if advice is not None and advice_map is not None:
+            raise SimulationError(
+                "pass either identical advice or a per-node advice_map, not both"
+            )
         self._g = graph
         self._factory = algorithm_factory
         self._advice = advice
-        self._rng = make_rng(seed)
-        self._max_delay = max_delay
+        self._advice_map = advice_map
+        if scheduler is None:
+            scheduler = RandomDelayScheduler(seed, max_delay)
+        self._scheduler = scheduler
         self._max_rounds = max_rounds
         self._max_events = max_events
 
     def run(self) -> RunResult:
         g = self._g
-        rng = self._rng
+        scheduler = self._scheduler
+        bind = getattr(scheduler, "bind", None)
+        if bind is not None:
+            bind(g.n)
         algorithms = [self._factory() for _ in g.nodes()]
-        contexts = [NodeContext(g.degree(v), self._advice) for v in g.nodes()]
+        if self._advice_map is not None:
+            contexts = [
+                NodeContext(g.degree(v), self._advice_map.get(v))
+                for v in g.nodes()
+            ]
+        else:
+            contexts = [
+                NodeContext(g.degree(v), self._advice) for v in g.nodes()
+            ]
         # per node: local round counter and round -> port -> message buffers
         local_round = [0] * g.n
         buffers: List[Dict[int, List[Optional[Any]]]] = [dict() for _ in g.nodes()]
@@ -67,10 +96,14 @@ class AsyncEngine:
             stamp = local_round[u] + 1
             for port, msg in out.items():
                 v, q = g.neighbor(u, port)
-                delay = rng.uniform(0.01, self._max_delay)
-                heapq.heappush(
-                    heap, (delay + _now[0], next(counter), v, q, stamp, msg)
-                )
+                seq = next(counter)
+                delay = scheduler.delay(u, port, v, q, stamp, seq)
+                if not delay > 0:
+                    raise SimulationError(
+                        f"scheduler returned a non-positive delay {delay}; "
+                        "adversarial delays must be positive and finite"
+                    )
+                heapq.heappush(heap, (delay + _now[0], seq, v, q, stamp, msg))
                 total_messages += 1
 
         def round_complete(v: int, stamp: int) -> bool:

@@ -1,0 +1,190 @@
+"""Adversarial message schedulers for the asynchronous engine.
+
+The paper's guarantees are *schedule-independent*: the alpha-synchronizer
+of :mod:`repro.sim.async_model` must reproduce the synchronous run under
+every finite-delay adversary.  This module makes that claim testable at
+scale by packaging adversaries as named, seeded, deterministic objects.
+
+The seeding contract
+    A scheduler is a pure function of its constructor arguments and the
+    sequence of :meth:`Scheduler.delay` calls it receives.  The engine
+    calls ``delay`` exactly once per message, in send order, so two runs
+    with equal-constructed schedulers see identical delays — the whole
+    async run is then deterministic, and a conformance record can name
+    its schedule (``random-s7``, ``delay-node-2``, ``reverse``) and be
+    reproduced bit-for-bit later.
+
+Built-in adversaries
+    * :class:`RandomDelayScheduler` — i.i.d. uniform delays from a seeded
+      stream (the engine's historical behavior; ``AsyncEngine(seed=s)``
+      still means exactly this).
+    * :class:`DelayOneNodeScheduler` — one victim node receives every
+      message late by a large factor; models a single slow host and
+      stresses the per-round buffering (the victim's neighbors run many
+      rounds ahead).
+    * :class:`ReverseDeliveryScheduler` — of two messages sent at the
+      same instant, the one sent *later* arrives *earlier* (delays are
+      strictly decreasing in the global send index), so each compose
+      batch is delivered in reverse port order and fresh rounds overtake
+      stale ones whenever timing allows.  No FIFO assumption survives
+      this adversary.
+
+:func:`make_schedules` fans a ``(count, seed)`` pair into a deterministic
+roster of named schedules — the per-corpus-entry fan-out used by the
+conformance oracle (``repro conformance --schedules K``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Protocol
+
+from repro.errors import SimulationError
+from repro.util.rng import RngLike, make_rng
+
+
+class Scheduler(Protocol):
+    """The delay adversary: one positive delay per message, in send order.
+
+    ``sender``/``send_port`` and ``receiver``/``recv_port`` identify the
+    directed link, ``stamp`` is the sender's round number, and ``seq`` is
+    the global send index (0, 1, 2, ... — strictly increasing).
+    """
+
+    def delay(
+        self,
+        sender: int,
+        send_port: int,
+        receiver: int,
+        recv_port: int,
+        stamp: int,
+        seq: int,
+    ) -> float:
+        """Positive, finite delay for this message."""
+        ...
+
+
+class RandomDelayScheduler:
+    """Seeded i.i.d. uniform delays in ``(0.01, max_delay)``.
+
+    This is exactly the engine's historical adversary: an
+    ``AsyncEngine(seed=s, max_delay=d)`` with no explicit scheduler
+    behaves bit-for-bit as before.
+    """
+
+    def __init__(self, seed: RngLike = 0, max_delay: float = 10.0):
+        if max_delay <= 0.01:
+            raise SimulationError(f"max_delay must exceed 0.01, got {max_delay}")
+        self._rng = make_rng(seed)
+        self._max_delay = max_delay
+
+    def delay(self, sender, send_port, receiver, recv_port, stamp, seq) -> float:
+        return self._rng.uniform(0.01, self._max_delay)
+
+
+class DelayOneNodeScheduler:
+    """One victim node receives every message an order of magnitude late.
+
+    ``victim_index`` is reduced modulo the number of nodes once the
+    engine binds the scheduler to a graph, so one roster of schedules
+    applies to corpora of mixed sizes.  Non-victim traffic keeps the
+    seeded-uniform behavior, so the victim's neighbors genuinely race
+    ahead and exercise the synchronizer's multi-round buffers.
+    """
+
+    def __init__(
+        self,
+        victim_index: int = 0,
+        seed: RngLike = 0,
+        max_delay: float = 10.0,
+        slowdown: float = 25.0,
+    ):
+        if slowdown <= 1.0:
+            raise SimulationError(f"slowdown must exceed 1, got {slowdown}")
+        self._victim_index = victim_index
+        self._victim = victim_index  # rebound per graph in bind()
+        self._rng = make_rng(seed)
+        self._max_delay = max_delay
+        self._slowdown = slowdown
+
+    def bind(self, num_nodes: int) -> None:
+        self._victim = self._victim_index % num_nodes
+
+    def delay(self, sender, send_port, receiver, recv_port, stamp, seq) -> float:
+        base = self._rng.uniform(0.01, self._max_delay)
+        if receiver == self._victim:
+            return base * self._slowdown
+        return base
+
+
+class ReverseDeliveryScheduler:
+    """Later sends arrive earlier: delay is strictly decreasing in ``seq``.
+
+    ``delay(seq) = horizon / (seq + 1)`` — positive forever, and of any
+    two messages sent at the same instant the higher-``seq`` one lands
+    first.  Deterministic with no randomness at all.
+    """
+
+    def __init__(self, horizon: float = 64.0):
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        self._horizon = horizon
+
+    def delay(self, sender, send_port, receiver, recv_port, stamp, seq) -> float:
+        return self._horizon / (seq + 1)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One named, reconstructible adversary: ``make()`` returns a fresh
+    scheduler every time, so one Schedule can drive many runs."""
+
+    name: str
+    make: Callable[[], Scheduler]
+
+
+def make_schedules(count: int, seed: int = 0) -> List[Schedule]:
+    """The deterministic schedule roster for ``(count, seed)``.
+
+    Cycles through the three adversary kinds, varying their parameters
+    with the roster index so every slot is distinct: ``random-s<seed+i>``,
+    ``reverse``, ``delay-node-<i//3>``, ``random-s<seed+i>``, ...,
+    ``reverse-x2`` (doubled horizon), ...  The roster is a pure function
+    of ``(count, seed)`` and a prefix of any longer roster with the same
+    seed — the same contract the corpus registry keeps, so
+    ``--schedules K`` records are stable under K.
+    """
+    if count < 0:
+        raise SimulationError(f"schedule count must be >= 0, got {count}")
+    roster: List[Schedule] = []
+    for i in range(count):
+        kind = i % 3
+        if kind == 0:
+            s = seed + i
+            roster.append(
+                Schedule(f"random-s{s}", lambda s=s: RandomDelayScheduler(s))
+            )
+        elif kind == 1:
+            # successive reverse slots widen the horizon so no two roster
+            # entries are the same adversary (the first keeps the plain
+            # name existing records pin)
+            mult = i // 3 + 1
+            name = "reverse" if mult == 1 else f"reverse-x{mult}"
+            roster.append(
+                Schedule(
+                    name,
+                    lambda mult=mult: ReverseDeliveryScheduler(64.0 * mult),
+                )
+            )
+        else:
+            victim = i // 3
+            s = seed + i
+            roster.append(
+                Schedule(
+                    f"delay-node-{victim}",
+                    lambda victim=victim, s=s: DelayOneNodeScheduler(
+                        victim, seed=s
+                    ),
+                )
+            )
+    return roster

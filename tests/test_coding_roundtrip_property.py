@@ -1,0 +1,234 @@
+"""Property-based round trips for the whole ``coding/`` layer.
+
+Seeded random structures (bitstrings, integers, labeled rooted trees,
+tries, nested E2 lists, Concat sequences) must satisfy
+``decode(encode(x)) == x`` exactly, and deliberate truncation/corruption
+of any code must raise :class:`~repro.errors.CodingError` — never return
+garbage.  Random generation is fully deterministic per seed, so a failure
+reproduces from its parametrized id alone.
+"""
+
+import random
+
+import pytest
+
+from repro.coding import Bits
+from repro.coding.concat import concat_bits, decode_concat
+from repro.coding.integers import decode_uint, encode_uint
+from repro.coding.nested import decode_e2, encode_e2
+from repro.coding.trees import LabeledRootedTree, decode_tree, encode_tree
+from repro.coding.tries import Trie, decode_trie, encode_trie, trie_leaf, trie_node
+from repro.errors import CodingError
+
+SEEDS = list(range(12))
+
+
+# ----------------------------------------------------------------------
+# random structure generators (all randomness from one rng per case)
+# ----------------------------------------------------------------------
+def random_bits(rng: random.Random, max_len: int = 40) -> Bits:
+    return Bits("".join(rng.choice("01") for _ in range(rng.randint(0, max_len))))
+
+
+def random_tree(rng: random.Random, labels: list) -> LabeledRootedTree:
+    """Random labeled rooted tree consuming ``labels`` (distinct)."""
+    root = LabeledRootedTree(labels[0])
+    nodes = [root]
+    next_port = {id(root): 0}
+    for label in labels[1:]:
+        parent = rng.choice(nodes)
+        child = LabeledRootedTree(label)
+        p = next_port[id(parent)]
+        next_port[id(parent)] = p + 1
+        next_port[id(child)] = 1  # port 0 at the child leads to the parent
+        parent.add_child(p, 0, child)
+        nodes.append(child)
+    return root
+
+
+def random_trie(rng: random.Random, depth: int = 4) -> Trie:
+    if depth == 0 or rng.random() < 0.3:
+        return trie_leaf()
+    query = (rng.randint(0, 30), rng.randint(0, 1))
+    return trie_node(
+        query, random_trie(rng, depth - 1), random_trie(rng, depth - 1)
+    )
+
+
+def random_e2(rng: random.Random):
+    return [
+        (
+            depth,
+            [
+                (rng.randint(1, 50), random_trie(rng, 3))
+                for _ in range(rng.randint(0, 3))
+            ],
+        )
+        for depth in range(2, 2 + rng.randint(0, 3))
+    ]
+
+
+def corrupt(rng: random.Random, bits: Bits) -> Bits:
+    """Flip one bit, drop a prefix/suffix, or splice garbage — whichever
+    the seed picks (never a no-op on non-empty input)."""
+    s = bits.as_str()
+    assert s, "corrupt() needs a non-empty code"
+    mode = rng.randrange(3)
+    if mode == 0:  # flip one bit
+        i = rng.randrange(len(s))
+        s = s[:i] + ("1" if s[i] == "0" else "0") + s[i + 1 :]
+    elif mode == 1:  # truncate
+        s = s[: rng.randrange(len(s))]
+    else:  # splice a random block in the middle
+        i = rng.randrange(len(s))
+        block = "".join(rng.choice("01") for _ in range(rng.randint(1, 7)))
+        s = s[:i] + block + s[i:]
+    return Bits(s)
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concat_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        comps = [random_bits(rng, 20) for _ in range(rng.randint(0, 6))]
+        encoded = concat_bits(comps)
+        decoded = decode_concat(encoded)
+        # the empty encoding is the documented corner case: both [] and
+        # [Bits("")] encode to "", decoded as []
+        assert decoded == ([] if encoded.as_str() == "" else comps)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_uint_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(100):
+        x = rng.randrange(0, 2 ** rng.randint(1, 48))
+        assert decode_uint(encode_uint(x)) == x
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tree_roundtrip(seed):
+    rng = random.Random(seed)
+    labels = list(range(1, rng.randint(2, 25)))
+    rng.shuffle(labels)
+    tree = random_tree(rng, labels)
+    decoded = decode_tree(encode_tree(tree))
+    assert decoded == tree
+    assert decoded.labels() == tree.labels()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_trie_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(20):
+        trie = random_trie(rng)
+        decoded = decode_trie(encode_trie(trie))
+        assert decoded == trie
+        assert decoded.queries() == trie.queries()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_e2_roundtrip(seed):
+    rng = random.Random(seed)
+    for _ in range(10):
+        e2 = random_e2(rng)
+        assert decode_e2(encode_e2(e2)) == e2
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bits_string_roundtrip(seed):
+    rng = random.Random(seed)
+    b = random_bits(rng)
+    assert Bits.from_str(b.as_str()) == b
+    assert Bits(list(b)) == b
+    assert len(b) == len(b.as_str())
+
+
+# ----------------------------------------------------------------------
+# corruption: clean errors, never garbage
+# ----------------------------------------------------------------------
+def _decodes_to_same(decoder, original, corrupted):
+    """A corrupted code must either raise CodingError or decode to a
+    *different* value than the original (a lucky re-framing is fine —
+    silently decoding to the same value would mean the corruption was
+    invisible, which only happens for a no-op edit)."""
+    try:
+        return decoder(corrupted) == original
+    except CodingError:
+        return False
+    except RecursionError:  # pragma: no cover - would be a real bug
+        raise
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concat_corruption_raises_or_changes(seed):
+    rng = random.Random(seed)
+    comps = [random_bits(rng, 12) for _ in range(3)]
+    encoded = concat_bits(comps)
+    hits = 0
+    for _ in range(30):
+        bad = corrupt(rng, encoded)
+        if bad == encoded:
+            continue
+        try:
+            if decode_concat(bad) != comps:
+                hits += 1
+        except CodingError:
+            hits += 1
+    assert hits > 0  # corruption is detectable, not silently absorbed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tree_corruption_never_garbage(seed):
+    rng = random.Random(seed)
+    labels = list(range(1, 12))
+    tree = random_tree(rng, labels)
+    encoded = encode_tree(tree)
+    for _ in range(25):
+        bad = corrupt(rng, encoded)
+        if bad == encoded:
+            continue
+        assert not _decodes_to_same(decode_tree, tree, bad)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_trie_corruption_never_garbage(seed):
+    rng = random.Random(seed)
+    trie = random_trie(rng)
+    encoded = encode_trie(trie)
+    for _ in range(25):
+        bad = corrupt(rng, encoded)
+        if bad == encoded:
+            continue
+        assert not _decodes_to_same(decode_trie, trie, bad)
+
+
+def test_truncation_raises_cleanly():
+    """Hard truncations of every codec raise CodingError specifically."""
+    tree = LabeledRootedTree(1)
+    tree.add_child(0, 0, LabeledRootedTree(2))
+    cases = [
+        (decode_uint, Bits("")),
+        (decode_concat, Bits("0")),  # dangling bit
+        (decode_concat, Bits("10")),  # invalid pair
+        (decode_tree, encode_tree(tree)[: len(encode_tree(tree)) // 2]),
+        (
+            decode_trie,
+            encode_trie(random_trie(random.Random(0)))[:5],
+        ),
+        (decode_e2, Bits("11")),  # one component: missing inner list
+    ]
+    for decoder, bad in cases:
+        with pytest.raises(CodingError):
+            decoder(bad)
+
+
+def test_uint_rejects_noncanonical():
+    with pytest.raises(CodingError):
+        decode_uint(Bits("007"[:2] if False else "01"))  # leading zero
+    with pytest.raises(CodingError):
+        decode_uint(Bits(""))
+    assert decode_uint(Bits("0")) == 0

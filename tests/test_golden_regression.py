@@ -6,6 +6,8 @@ to the advice format, the canonical orders, or a construction — which
 must be deliberate and documented, never incidental.
 """
 
+import json
+
 import pytest
 
 from repro.coding import Bits, concat_bits
@@ -52,6 +54,82 @@ class TestGoldenIndices:
     )
     def test_indices(self, build, expected):
         assert election_index(build()) == expected
+
+
+class TestGoldenConformance:
+    """Canonical conformance record groups for three corpus families.
+
+    The conformance task is deterministic end to end (seeded corpora,
+    seeded schedule roster, canonical JSON), so the exact bytes of a
+    record group are a regression surface: any engine, scheduler, codec
+    or record-schema change that alters them must be deliberate — and
+    will be caught here at review time, not in a downstream sweep diff.
+    """
+
+    #: (family, sha256 of the canonical JSONL of the first entry's group)
+    GOLDEN_GROUPS = [
+        ("tori",
+         "4548c55a52edafe2ded991b5cd0b4b86c517af9e1d91d0a4a8c8ee040f7a6c74"),
+        ("random-trees",
+         "7085a790af6c83f499bcd952def94edae4a562e051dacc88417101c259dd0a23"),
+        ("lifts",
+         "cf1ce2fc6a2b6cb55660ce732c83e42cdae2ae8bf541ace0568119462ac5a67b"),
+    ]
+
+    @staticmethod
+    def _first_entry_group(family):
+        import hashlib
+
+        from repro.corpus import iter_corpus
+        from repro.engine import get_task
+        from repro.engine.records import records_to_jsonl
+
+        name, g = next(iter(iter_corpus(f"{family}:1")))
+        records = get_task("conformance")(name, g)
+        digest = hashlib.sha256(
+            records_to_jsonl(records).encode("utf-8")
+        ).hexdigest()
+        return name, records, digest
+
+    @pytest.mark.parametrize(
+        "family,expected", GOLDEN_GROUPS, ids=[f for f, _ in GOLDEN_GROUPS]
+    )
+    def test_group_bytes_pinned(self, family, expected):
+        _, records, digest = self._first_entry_group(family)
+        assert digest == expected, (
+            f"canonical conformance bytes for family '{family}' drifted; "
+            f"if the record schema or a checked quantity changed "
+            f"deliberately, re-pin the hash (records: {records})"
+        )
+
+    def test_random_trees_summary_fields(self):
+        """Key summary fields pinned readably (the hash above pins the
+        rest, this shows *what* the numbers are)."""
+        from repro.engine.records import record_to_json
+
+        name, records, _ = self._first_entry_group("random-trees")
+        summary = records[-1]
+        assert name == "random-trees-s0-00000-n30"
+        assert (summary["n"], summary["phi"], summary["diameter"]) == (30, 3, 9)
+        assert summary["feasible"] is True
+        assert summary["cells"] == 30
+        assert summary["total_disagreements"] == 0
+        assert summary["advice_bits"] == {"elect": 14952, "map-based": 5398}
+        assert summary["algorithms"] == [
+            "elect", "known-d-phi", "labeling-scheme", "map-based",
+            "tree-no-advice",
+        ]
+        # the summary is the group terminator the store keys resume on
+        assert summary["name"] == summary["entry"]
+        assert json.loads(record_to_json(summary)) == summary
+
+    def test_infeasible_families_run_labeling_scheme_only(self):
+        for family in ("tori", "lifts"):
+            _, records, _ = self._first_entry_group(family)
+            summary = records[-1]
+            assert summary["feasible"] is False
+            assert summary["algorithms"] == ["labeling-scheme"]
+            assert summary["total_disagreements"] == 0
 
 
 class TestGoldenCodecs:

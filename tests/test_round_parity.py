@@ -1,0 +1,90 @@
+"""Round-accounting parity: SyncEngine vs the strict wire mode.
+
+The wire codec must be *invisible*: wrapping an algorithm in
+:class:`~repro.sim.strict.WireWrapped` may only change the transport, so
+on every corpus-family prefix the per-node ``output_round`` map, the
+total round count and the message count must be identical to the plain
+synchronous run.  This is the exact class of drift the PR-2
+stabilization-depth bug exhibited (a silent off-by-one in a derived
+count), pinned here at the engine level so it cannot recur unnoticed.
+"""
+
+import pytest
+
+from repro.conformance import get_algorithm, profile_graph
+from repro.corpus import iter_corpus
+from repro.sim import SyncEngine, wire_wrapped
+
+
+def _feasible_prefix(spec, limit):
+    """First ``limit`` feasible entries of a family prefix."""
+    out = []
+    for name, g in iter_corpus(spec):
+        profile = profile_graph(g)
+        if profile.feasible:
+            out.append((name, g, profile))
+        if len(out) == limit:
+            break
+    return out
+
+
+# family prefixes chosen to be (mostly) feasible and cheap; the phi
+# corpora of analysis.sweep are covered by test_conformance instead
+FAMILY_PREFIXES = ["random-trees:8", "caterpillars:8", "random-regular:10"]
+
+
+@pytest.mark.parametrize("spec", FAMILY_PREFIXES)
+@pytest.mark.parametrize("algorithm", ["elect", "map-based", "known-d-phi"])
+def test_sync_and_strict_round_accounting_identical(spec, algorithm):
+    entries = _feasible_prefix(spec, limit=4)
+    assert entries, f"family prefix {spec} produced no feasible entries"
+    algo = get_algorithm(algorithm)
+    for name, g, profile in entries:
+        if algo.applicable(g, profile) is not None:
+            continue
+        prepared = algo.prepare(g, profile)
+        plain = SyncEngine(
+            g,
+            prepared.factory,
+            advice=prepared.advice,
+            advice_map=prepared.advice_map,
+            max_rounds=prepared.max_rounds,
+        ).run()
+        strict = SyncEngine(
+            g,
+            wire_wrapped(prepared.factory),
+            advice=prepared.advice,
+            advice_map=prepared.advice_map,
+            max_rounds=prepared.max_rounds,
+        ).run()
+        assert strict.output_round == plain.output_round, (name, algorithm)
+        assert strict.rounds == plain.rounds, (name, algorithm)
+        assert strict.election_time == plain.election_time, (name, algorithm)
+        assert strict.total_messages == plain.total_messages, (name, algorithm)
+        assert strict.per_round_messages == plain.per_round_messages, (
+            name,
+            algorithm,
+        )
+        assert strict.outputs == plain.outputs, (name, algorithm)
+
+
+def test_tree_no_advice_round_parity_on_trees():
+    """The no-advice tree baseline outputs at each node's eccentricity;
+    the wire wrapper must preserve that per-node schedule exactly."""
+    entries = _feasible_prefix("random-trees:6", limit=3)
+    algo = get_algorithm("tree-no-advice")
+    checked = 0
+    for name, g, profile in entries:
+        if algo.applicable(g, profile) is not None:
+            continue
+        prepared = algo.prepare(g, profile)
+        plain = SyncEngine(
+            g, prepared.factory, max_rounds=prepared.max_rounds
+        ).run()
+        strict = SyncEngine(
+            g, wire_wrapped(prepared.factory), max_rounds=prepared.max_rounds
+        ).run()
+        assert strict.output_round == plain.output_round, name
+        assert max(plain.output_round.values()) <= profile.diameter
+        checked += 1
+    assert checked > 0
