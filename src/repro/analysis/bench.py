@@ -1,0 +1,551 @@
+"""The machine-readable perf harness: named scenarios, canonical records.
+
+The ROADMAP's north star is "as fast as the hardware allows", but prose
+``.txt`` tables cannot anchor a trajectory: nothing downstream can diff
+them, gate on them, or compute a speedup from them.  This module defines
+
+* a registry of named **perf scenarios** (``refinement``, ``sweep``,
+  ``strict``, ``conformance``) — each runs a fixed, seeded workload
+  through the library's hot paths and times it (min over repeats);
+* the canonical ``BENCH_<scenario>.json`` record schema (version
+  ``repro-bench/1``) with an environment fingerprint and, when a recorded
+  baseline is available, a per-case **speedup** against it;
+* the **baseline** file format (``repro-bench-baseline/1``): timings of a
+  reference implementation recorded *by this same harness*, which is what
+  makes a speedup claim reproducible — same scenarios, same cases, same
+  measurement discipline (``benchmarks/baseline_seed.json`` holds the
+  pre-CSR seed implementation's numbers);
+* ``validate_bench_record`` — the schema gate CI runs on every emitted
+  record (``repro bench --check``), so a malformed record fails the build
+  instead of silently dropping out of the trajectory.
+
+Entry points: the ``repro bench`` CLI subcommand and the thin
+``benchmarks/harness.py`` wrapper.  ``benchmarks/conftest.py`` writes a
+``kind="table"`` twin of every historical prose bench through the same
+schema, so old and new artifacts feed one trajectory.
+
+Scenario cases are deterministic (fixed generator seeds, fixed corpus
+family prefixes), so a baseline and a candidate measure the *identical*
+workload; timings are wall-clock ``perf_counter`` minima, with the view
+caches cleared before every repeat that touches them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+BENCH_SCHEMA = "repro-bench/1"
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: A case is one timed (or tabulated) unit inside a scenario record.
+Case = Dict[str, Any]
+
+#: ``fn(quick) -> [case, ...]``; registered under the scenario name.
+ScenarioFn = Callable[[bool], List[Case]]
+
+SCENARIOS: Dict[str, ScenarioFn] = {}
+
+
+def register_scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Decorator: register a perf scenario under ``name``."""
+
+    def deco(fn: ScenarioFn) -> ScenarioFn:
+        if name in SCENARIOS:
+            raise ValueError(f"scenario '{name}' is already registered")
+        SCENARIOS[name] = fn
+        return fn
+
+    return deco
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where a record was measured: enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _time_case(
+    fn: Callable[[], Any], repeats: int, clear_caches: bool = False
+) -> Tuple[float, int]:
+    """Min wall-clock over ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        if clear_caches:
+            from repro.views import clear_view_caches
+
+            clear_view_caches()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, repeats
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+@register_scenario("refinement")
+def _scenario_refinement(quick: bool) -> List[Case]:
+    """``stable_partition`` on corpus-shaped graphs: the partition-
+    refinement hot loop, at four-digit n and (full mode) up to ~50k."""
+    from repro.graphs.generators import grid_torus, random_regular, random_tree
+    from repro.views.refinement import stable_partition
+
+    if quick:
+        specs = [
+            ("random-tree-n300", lambda: random_tree(300, seed=1)),
+            ("random-regular-n200-d4", lambda: random_regular(200, 4, seed=1)),
+            ("torus-10x11", lambda: grid_torus(10, 11)),
+        ]
+        repeats = 2
+    else:
+        specs = [
+            ("random-tree-n2000", lambda: random_tree(2000, seed=1)),
+            ("random-tree-n5000", lambda: random_tree(5000, seed=2)),
+            ("random-tree-n9000", lambda: random_tree(9000, seed=3)),
+            ("random-regular-n2000-d4", lambda: random_regular(2000, 4, seed=1)),
+            ("torus-44x45", lambda: grid_torus(44, 45)),
+            ("random-tree-n50000", lambda: random_tree(50000, seed=1)),
+        ]
+        repeats = 3
+    cases: List[Case] = []
+    for case_name, build in specs:
+        g = build()
+        seconds, reps = _time_case(lambda: stable_partition(g), repeats)
+        cases.append(
+            {"case": case_name, "seconds": seconds, "repeats": reps, "n": g.n}
+        )
+    return cases
+
+
+@register_scenario("sweep")
+def _scenario_sweep(quick: bool) -> List[Case]:
+    """End-to-end ``repro sweep`` of a corpus family through the streaming
+    engine: lazy generation -> task -> records, exactly the CLI path."""
+    from repro.corpus import get_family
+    from repro.engine import EngineConfig, run_stream
+    from repro.views.refinement import stable_partition
+
+    if quick:
+        index_params = dict(count=6, seed=0, min_n=20, max_n=60)
+        elect_params = dict(count=3, seed=0, min_n=10, max_n=30)
+        repeats = 1
+    else:
+        index_params = dict(count=30, seed=0, min_n=400, max_n=1200)
+        elect_params = dict(count=10, seed=0, min_n=40, max_n=120)
+        repeats = 2
+
+    def run_family(task: str, params: Dict[str, int], feasible_only: bool):
+        def one_pass() -> None:
+            stream = get_family("random-trees").generate(
+                params["count"] * (3 if feasible_only else 1),
+                seed=params["seed"],
+                min_n=params["min_n"],
+                max_n=params["max_n"],
+            )
+            if feasible_only:
+                # deterministic prefix of feasible entries: the elect task
+                # rejects infeasible graphs, and "mixed" families may
+                # contain them
+                def feasible(entries):
+                    taken = 0
+                    for name, g in entries:
+                        if stable_partition(g).discrete:
+                            yield name, g
+                            taken += 1
+                            if taken == params["count"]:
+                                return
+
+                stream = feasible(stream)
+            records = list(run_stream(stream, task, EngineConfig(workers=1)))
+            if not records:
+                raise ReproError(f"sweep scenario produced no records ({task})")
+
+        return one_pass
+
+    cases: List[Case] = []
+    for case_name, task, params, feasible_only in (
+        ("random-trees-index", "index", index_params, False),
+        ("random-trees-elect", "elect", elect_params, True),
+    ):
+        seconds, reps = _time_case(
+            run_family(task, params, feasible_only), repeats, clear_caches=True
+        )
+        cases.append(
+            {
+                "case": case_name,
+                "seconds": seconds,
+                "repeats": reps,
+                "count": params["count"],
+            }
+        )
+    return cases
+
+
+@register_scenario("strict")
+def _scenario_strict(quick: bool) -> List[Case]:
+    """Strict-wire election: every message serialized to bits and decoded
+    back — the byte-honest engine plus the coding layer."""
+    from repro.core.advice import compute_advice
+    from repro.core.elect import ElectAlgorithm
+    from repro.graphs.generators import random_tree
+    from repro.sim import run_sync
+    from repro.sim.strict import wire_wrapped
+
+    # seeds chosen so the trees are feasible (asserted below)
+    specs = (
+        [("elect-wire-tree-n24", 24, 2)]
+        if quick
+        else [("elect-wire-tree-n60", 60, 2), ("elect-wire-tree-n90", 90, 4)]
+    )
+    repeats = 2 if quick else 3
+    cases: List[Case] = []
+    for case_name, n, seed in specs:
+        g = random_tree(n, seed=seed)
+        bundle = compute_advice(g)  # raises if infeasible: bad spec
+
+        def run() -> None:
+            result = run_sync(
+                g, wire_wrapped(ElectAlgorithm), advice=bundle.bits
+            )
+            if len(result.outputs) != g.n:
+                raise ReproError("strict scenario lost node outputs")
+
+        seconds, reps = _time_case(run, repeats, clear_caches=True)
+        cases.append(
+            {"case": case_name, "seconds": seconds, "repeats": reps, "n": g.n}
+        )
+    return cases
+
+
+@register_scenario("conformance")
+def _scenario_conformance(quick: bool) -> List[Case]:
+    """Differential-oracle cells: every algorithm x sim model x schedule
+    on a small corpus prefix — the conformance engine's unit of work."""
+    from repro.conformance.oracle import ConformanceConfig, conformance_entry
+    from repro.corpus import get_family
+
+    per_family = 1 if quick else 3
+    repeats = 1 if quick else 2
+    config = ConformanceConfig(schedules=2, seed=0)
+    cases: List[Case] = []
+    for family in ("tori", "random-trees"):
+        entries = list(get_family(family).generate(per_family, seed=0))
+
+        def run(entries=entries) -> None:
+            for name, g in entries:
+                records = conformance_entry(name, g, config)
+                if not records:
+                    raise ReproError("conformance scenario produced no records")
+
+        seconds, reps = _time_case(run, repeats, clear_caches=True)
+        cases.append(
+            {
+                "case": f"{family}-x{per_family}",
+                "seconds": seconds,
+                "repeats": reps,
+                "entries": per_family,
+            }
+        )
+    return cases
+
+
+# ----------------------------------------------------------------------
+# records, baselines, validation
+# ----------------------------------------------------------------------
+def make_bench_record(
+    scenario: str,
+    cases: List[Case],
+    quick: bool,
+    baseline: Optional[Dict[str, Any]] = None,
+    baseline_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the canonical ``BENCH_<scenario>.json`` record, attaching
+    per-case speedups when the baseline covers (mode, scenario, case)."""
+    mode = "quick" if quick else "full"
+    base_cases: Dict[str, float] = {}
+    if baseline is not None:
+        base_cases = baseline.get("modes", {}).get(mode, {}).get(scenario, {})
+    out_cases: List[Case] = []
+    for case in cases:
+        case = dict(case)
+        base = base_cases.get(case["case"])
+        case["baseline_seconds"] = base
+        case["speedup"] = (
+            base / case["seconds"]
+            if base is not None and case["seconds"] > 0
+            else None
+        )
+        out_cases.append(case)
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "timing",
+        "scenario": scenario,
+        "quick": quick,
+        "env": env_fingerprint(),
+        "baseline": (
+            {"path": baseline_path, "env": baseline.get("env")}
+            if baseline is not None
+            else None
+        ),
+        "cases": out_cases,
+    }
+
+
+def make_table_record(scenario: str, title: str, body: str) -> Dict[str, Any]:
+    """The ``kind="table"`` twin for historical prose benches: same schema
+    envelope, one case carrying the table text."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "table",
+        "scenario": scenario,
+        "quick": False,
+        "env": env_fingerprint(),
+        "baseline": None,
+        "cases": [{"case": scenario, "title": title, "text": body}],
+    }
+
+
+def validate_bench_record(record: Any) -> None:
+    """Raise :class:`ReproError` unless ``record`` is a well-formed
+    ``repro-bench/1`` record (the CI schema gate)."""
+
+    def fail(msg: str) -> None:
+        raise ReproError(f"malformed bench record: {msg}")
+
+    if not isinstance(record, dict):
+        fail(f"expected an object, got {type(record).__name__}")
+    if record.get("schema") != BENCH_SCHEMA:
+        fail(f"schema must be '{BENCH_SCHEMA}', got {record.get('schema')!r}")
+    kind = record.get("kind")
+    if kind not in ("timing", "table"):
+        fail(f"kind must be 'timing' or 'table', got {kind!r}")
+    scenario = record.get("scenario")
+    if not isinstance(scenario, str) or not scenario:
+        fail("scenario must be a non-empty string")
+    if not isinstance(record.get("quick"), bool):
+        fail("quick must be a boolean")
+    env = record.get("env")
+    if not isinstance(env, dict) or not env.get("python") or not env.get("platform"):
+        fail("env must carry at least python and platform")
+    baseline = record.get("baseline")
+    if baseline is not None and not isinstance(baseline, dict):
+        fail("baseline must be null or an object")
+    cases = record.get("cases")
+    if not isinstance(cases, list) or not cases:
+        fail("cases must be a non-empty list")
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict) or not isinstance(case.get("case"), str):
+            fail(f"cases[{i}] must be an object with a string 'case'")
+        if kind == "timing":
+            seconds = case.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                fail(f"cases[{i}].seconds must be a non-negative number")
+            repeats = case.get("repeats")
+            if not isinstance(repeats, int) or repeats < 1:
+                fail(f"cases[{i}].repeats must be a positive integer")
+            for key in ("baseline_seconds", "speedup"):
+                value = case.get(key)
+                if value is not None and not isinstance(value, (int, float)):
+                    fail(f"cases[{i}].{key} must be null or a number")
+        else:
+            if not isinstance(case.get("text"), str):
+                fail(f"cases[{i}].text must be a string (kind=table)")
+
+
+def bench_table(record: Dict[str, Any]) -> Tuple[List[str], List[Tuple]]:
+    """``(columns, rows)`` for :func:`repro.analysis.format_table`."""
+    columns = ["case", "seconds", "baseline_s", "speedup"]
+    rows = []
+    for case in record["cases"]:
+        if record["kind"] == "table":
+            rows.append((case["case"], "-", "-", "-"))
+            continue
+        base = case.get("baseline_seconds")
+        speedup = case.get("speedup")
+        rows.append(
+            (
+                case["case"],
+                f"{case['seconds']:.4f}",
+                f"{base:.4f}" if base is not None else "-",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            )
+        )
+    return columns, rows
+
+
+# ----------------------------------------------------------------------
+# file I/O
+# ----------------------------------------------------------------------
+def write_json(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise ReproError(
+            f"{path}: schema must be '{BASELINE_SCHEMA}', "
+            f"got {baseline.get('schema')!r}"
+        )
+    return baseline
+
+
+def update_baseline(
+    path: str, mode: str, results: Dict[str, List[Case]]
+) -> Dict[str, Any]:
+    """Merge freshly measured scenario timings into the baseline file
+    (creating it if absent); only the given mode is touched.
+
+    A baseline's timings are only comparable within one environment, so
+    merging into a file recorded on a different environment is refused —
+    re-record every mode into a fresh file instead."""
+    current_env = env_fingerprint()
+    if os.path.exists(path):
+        baseline = load_baseline(path)
+        recorded_env = baseline.get("env")
+        if recorded_env and recorded_env != current_env:
+            raise ReproError(
+                f"{path}: existing baseline was recorded on a different "
+                f"environment ({recorded_env}); partial re-recording would "
+                "mislabel its timings — record all modes into a fresh file"
+            )
+    else:
+        baseline = {"schema": BASELINE_SCHEMA, "modes": {}}
+    per_mode = baseline.setdefault("modes", {}).setdefault(mode, {})
+    for scenario, cases in results.items():
+        per_mode[scenario] = {c["case"]: c["seconds"] for c in cases}
+    baseline["env"] = current_env
+    write_json(path, baseline)
+    return baseline
+
+
+def _check_known_scenarios(scenarios: List[str]) -> None:
+    unknown = [s for s in scenarios if s not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(SCENARIOS))}"
+        )
+
+
+def run_bench(
+    scenarios: List[str],
+    quick: bool,
+    out_dir: str,
+    baseline_path: Optional[str],
+    progress: Callable[[str], None] = lambda _msg: None,
+) -> List[str]:
+    """Run the named scenarios, write one validated ``BENCH_*.json`` per
+    scenario under ``out_dir``, and return the written paths."""
+    _check_known_scenarios(scenarios)
+    baseline = None
+    if baseline_path and os.path.exists(baseline_path):
+        baseline = load_baseline(baseline_path)
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for scenario in scenarios:
+        progress(f"scenario {scenario} ({'quick' if quick else 'full'}) ...")
+        cases = SCENARIOS[scenario](quick)
+        record = make_bench_record(
+            scenario, cases, quick, baseline=baseline, baseline_path=baseline_path
+        )
+        validate_bench_record(record)
+        path = os.path.join(out_dir, f"BENCH_{scenario}.json")
+        write_json(path, record)
+        written.append(path)
+    return written
+
+
+def check_bench_dir(out_dir: str) -> List[str]:
+    """Validate every ``BENCH_*.json`` under ``out_dir``; raise
+    :class:`ReproError` on a malformed record or if none exist."""
+    if not os.path.isdir(out_dir):
+        raise ReproError(f"bench output directory '{out_dir}' does not exist")
+    paths = sorted(
+        os.path.join(out_dir, name)
+        for name in os.listdir(out_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    if not paths:
+        raise ReproError(f"no BENCH_*.json records under '{out_dir}'")
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}: not valid JSON ({exc})") from None
+        try:
+            validate_bench_record(record)
+        except ReproError as exc:
+            raise ReproError(f"{path}: {exc}") from None
+    return paths
+
+
+def run_from_args(args) -> int:
+    """Execute a parsed ``repro bench`` invocation (flags defined on the
+    CLI subparser in :mod:`repro.cli`)."""
+    if args.check is not None:
+        paths = check_bench_dir(args.check)
+        print(f"{len(paths)} bench record(s) valid under {args.check}")
+        return 0
+
+    names = (
+        [s.strip() for s in args.scenario.split(",") if s.strip()]
+        if args.scenario
+        else sorted(SCENARIOS)
+    )
+    if args.record_baseline is not None:
+        _check_known_scenarios(names)
+        mode = "quick" if args.quick else "full"
+        results = {}
+        for scenario in names:
+            print(f"baseline: scenario {scenario} ({mode}) ...", flush=True)
+            results[scenario] = SCENARIOS[scenario](args.quick)
+        update_baseline(args.record_baseline, mode, results)
+        print(f"baseline ({mode}) written to {args.record_baseline}")
+        return 0
+
+    from repro.analysis.tables import format_table
+
+    written = run_bench(
+        names,
+        args.quick,
+        args.out_dir,
+        args.baseline,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    for path in written:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        columns, rows = bench_table(record)
+        print(f"\n== {record['scenario']} ==")
+        print(format_table(columns, rows))
+    print(f"\n{len(written)} record(s) written to {args.out_dir}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``benchmarks/harness.py`` standalone entry point: exactly the
+    ``repro bench`` subcommand (one flag definition, in the CLI)."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench"] + list(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via harness.py
+    sys.exit(main())

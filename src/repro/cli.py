@@ -27,6 +27,11 @@ Commands
 ``corpus list`` / ``corpus emit FAMILY[:count,seed=S,...]``
     Inspect the corpus-family registry / stream a family's graphs as
     JSON lines.
+``bench [--quick] [--scenario S,T] [--out-dir DIR] [--check DIR]``
+    The machine-readable perf harness: run named scenarios (refinement,
+    sweep, strict, conformance) and emit canonical ``BENCH_<scenario>.json``
+    records with speedups against the recorded seed baseline; ``--check``
+    validates existing records (the CI schema gate).
 ``report [--out FILE]``
     Regenerate the small-scale experiment report (markdown).
 
@@ -410,6 +415,12 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -540,6 +551,38 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--out", default=None, help="write to this file instead "
                     "of stdout")
     pe.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser(
+        "bench",
+        help="run perf scenarios, emit machine-readable BENCH_*.json records",
+    )
+    # flags stay stdlib-only here so building the parser never imports the
+    # analysis/engine tree; _cmd_bench defers that to execution time
+    p.add_argument(
+        "--scenario", default=None,
+        help="comma-separated scenario names (default: all registered)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="small workloads for smoke/CI (recorded as quick mode)",
+    )
+    p.add_argument(
+        "--out-dir", default="benchmarks/out",
+        help="directory for BENCH_<scenario>.json records",
+    )
+    p.add_argument(
+        "--baseline", default="benchmarks/baseline_seed.json",
+        help="baseline timings file for speedup computation (skipped if absent)",
+    )
+    p.add_argument(
+        "--record-baseline", default=None, metavar="FILE",
+        help="measure and write/update the baseline file instead of records",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="DIR",
+        help="only validate the BENCH_*.json records under DIR, then exit",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="regenerate the experiment report")
     p.add_argument("--out", default=None, help="write markdown to this file")

@@ -27,6 +27,10 @@ Transport
     (:func:`repro.graphs.serialization.to_json`), which round-trips
     exactly, including port numbers; tasks cross as registry names
     (:mod:`repro.engine.tasks`).  Nothing unpicklable is ever shipped.
+    The serial path crosses no boundary, so it skips the JSON round-trip
+    and hands the graph object to the chunk runner directly — sound
+    because the round-trip is exact (``from_json(to_json(g)) == g``
+    structurally), so tasks, being pure in the graph, cannot tell.
 
 The start method prefers ``fork`` (cheap on Linux) and falls back to the
 platform default elsewhere.
@@ -46,8 +50,9 @@ from repro.errors import EngineError
 from repro.graphs.port_graph import PortGraph
 from repro.graphs.serialization import from_json, to_json
 
-# (corpus position, name, canonical graph JSON)
-_ChunkItem = Tuple[int, str, str]
+# (corpus position, name, canonical graph JSON — or the graph itself on
+# the serial path, which crosses no process boundary)
+_ChunkItem = Tuple[int, str, object]
 # (task name, chunk, clear_caches flag)
 _ChunkPayload = Tuple[str, List[_ChunkItem], bool]
 
@@ -91,12 +96,18 @@ def default_chunk_size(num_items: int, workers: int) -> int:
 
 
 def chunk_corpus(
-    corpus: Sequence[Tuple[str, PortGraph]], chunk_size: int
+    corpus: Sequence[Tuple[str, PortGraph]],
+    chunk_size: int,
+    encode: bool = True,
 ) -> List[List[_ChunkItem]]:
-    """Deterministically split a corpus into position-tagged, JSON-encoded
-    chunks of at most ``chunk_size`` entries, in corpus order."""
+    """Deterministically split a corpus into position-tagged chunks of at
+    most ``chunk_size`` entries, in corpus order.  ``encode=True`` ships
+    graphs as canonical JSON (required to cross a process boundary);
+    ``encode=False`` passes the graph objects through — the serial fast
+    path, identical records because the round-trip is exact."""
     items: List[_ChunkItem] = [
-        (pos, name, to_json(g)) for pos, (name, g) in enumerate(corpus)
+        (pos, name, to_json(g) if encode else g)
+        for pos, (name, g) in enumerate(corpus)
     ]
     return [
         items[start : start + chunk_size]
@@ -117,13 +128,21 @@ def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
     task = get_task(task_name)
     out: List[Tuple[int, Record]] = []
     try:
-        for pos, name, graph_json in chunk:
+        for pos, name, graph_or_json in chunk:
             try:
-                result = task(name, from_json(graph_json))
+                encoded = isinstance(graph_or_json, str)
+                graph = from_json(graph_or_json) if encoded else graph_or_json
+                result = task(name, graph)
                 if isinstance(result, list):
                     out.extend((pos, record) for record in result)
                 else:
                     out.append((pos, result))
+                if not encoded and clear_caches:
+                    # serial fast path: the caller's graph object outlives
+                    # the chunk, so drop the derived CSR arrays with the
+                    # other caches — memory stays bounded by the chunk,
+                    # not the corpus (decoded graphs die with the chunk)
+                    graph._csr_cache = None
             except EngineError:
                 raise  # already carries context (and pickles: str args only)
             except Exception as exc:
@@ -177,12 +196,14 @@ def run(
         if config.chunk_size is not None
         else default_chunk_size(len(corpus), config.workers)
     )
-    chunks = chunk_corpus(corpus, chunk_size)
+    num_chunks = math.ceil(len(corpus) / chunk_size)
+    serial = config.workers == 1 or num_chunks == 1
+    chunks = chunk_corpus(corpus, chunk_size, encode=not serial)
     payloads: List[_ChunkPayload] = [
         (task, chunk, config.clear_caches) for chunk in chunks
     ]
 
-    if config.workers == 1 or len(chunks) == 1:
+    if serial:
         chunk_results = [_run_chunk(p) for p in payloads]
     else:
         ctx = multiprocessing.get_context(

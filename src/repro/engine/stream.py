@@ -55,9 +55,12 @@ def _encode_chunks(
     task: str,
     chunk_size: int,
     clear_caches: bool,
+    encode: bool = True,
 ) -> Iterator[_ChunkPayload]:
-    """Lazily cut the stream into position-tagged, JSON-encoded payloads
-    (the same shape :func:`chunk_corpus` produces for sequences)."""
+    """Lazily cut the stream into position-tagged payloads (the same shape
+    :func:`chunk_corpus` produces for sequences).  ``encode=False`` passes
+    graph objects through instead of canonical JSON — the serial fast
+    path, which crosses no process boundary."""
     it = iter(corpus_iter)
     pos = 0
     while True:
@@ -65,7 +68,7 @@ def _encode_chunks(
         if not block:
             return
         chunk = [
-            (pos + offset, name, to_json(g))
+            (pos + offset, name, to_json(g) if encode else g)
             for offset, (name, g) in enumerate(block)
         ]
         pos += len(block)
@@ -93,7 +96,13 @@ def run_stream(
         if config.chunk_size is not None
         else DEFAULT_STREAM_CHUNK_SIZE
     )
-    payloads = _encode_chunks(corpus_iter, task, chunk_size, config.clear_caches)
+    payloads = _encode_chunks(
+        corpus_iter,
+        task,
+        chunk_size,
+        config.clear_caches,
+        encode=config.workers > 1,
+    )
 
     if config.workers == 1:
         for payload in payloads:

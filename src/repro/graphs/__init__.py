@@ -12,6 +12,7 @@ notion of "same network" for anonymous algorithms).
 """
 
 from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.graphs.csr import CSRAdjacency, csr_of
 from repro.graphs.generators import (
     broom,
     caterpillar,
@@ -50,6 +51,8 @@ from repro.graphs.serialization import (
 __all__ = [
     "PortGraph",
     "PortGraphBuilder",
+    "CSRAdjacency",
+    "csr_of",
     "broom",
     "caterpillar",
     "circulant",

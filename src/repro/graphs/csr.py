@@ -1,0 +1,112 @@
+"""Flat-array (CSR) adjacency: the kernel layer behind the hot loops.
+
+:class:`PortGraph` stores adjacency as per-node tuples of ``(v, q)``
+pairs — the right shape for the O(1) model primitives, but a slow one for
+the library's kernels: partition refinement, view construction and the
+engines' delivery loop all iterate *every* incident edge of *every* node
+per level/round, and paying a method call plus tuple unpacking per edge
+dominates their runtime.
+
+:class:`CSRAdjacency` is the same graph flattened once into parallel
+arrays, in the classic compressed-sparse-row layout:
+
+* ``offsets[v] : offsets[v + 1]`` is node ``v``'s slice of the edge
+  arrays (``offsets`` has length ``n + 1``);
+* ``neighbors[i]`` / ``remote_ports[i]`` are the far endpoint of the
+  ``i``-th directed edge: for ``i = offsets[v] + p``, the edge out of
+  ``v`` through local port ``p`` reaches ``neighbors[i]``, arriving there
+  on port ``remote_ports[i]``;
+* ``degrees[v] == offsets[v + 1] - offsets[v]``;
+* ``neighbor_tuples[v]`` / ``remote_port_tuples[v]`` are the per-node
+  slices as tuples — the shape ``map``/``zip`` consume at C speed;
+* ``port_keys[v]`` is a dense id of ``remote_port_tuples[v]``: two nodes
+  share a port key iff they have the same degree *and* the same remote
+  port on every local port — exactly the static part of the refinement
+  signature, renumbered once instead of once per level.
+
+The CSR view is derived lazily, **once per PortGraph**, and cached on the
+instance (graphs are immutable, so the cache can never go stale).  Hot
+paths call :func:`csr_of` and index flat arrays; everything user-facing
+keeps going through the PortGraph API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graphs.port_graph import PortGraph
+
+
+class CSRAdjacency:
+    """Immutable flat-array view of a :class:`PortGraph` (see module
+    docstring for the layout).  Build through :func:`csr_of`, which
+    caches one instance per graph."""
+
+    __slots__ = (
+        "n",
+        "offsets",
+        "neighbors",
+        "remote_ports",
+        "degrees",
+        "neighbor_tuples",
+        "remote_port_tuples",
+        "port_keys",
+        "num_port_keys",
+    )
+
+    n: int
+    offsets: List[int]
+    neighbors: List[int]
+    remote_ports: List[int]
+    degrees: List[int]
+    neighbor_tuples: List[Tuple[int, ...]]
+    remote_port_tuples: List[Tuple[int, ...]]
+    port_keys: List[int]
+    num_port_keys: int
+
+    def __init__(self, g: PortGraph):
+        adj = g._adj
+        offsets: List[int] = [0]
+        neighbors: List[int] = []
+        remote_ports: List[int] = []
+        degrees: List[int] = []
+        neighbor_tuples: List[Tuple[int, ...]] = []
+        remote_port_tuples: List[Tuple[int, ...]] = []
+        for row in adj:
+            if row:
+                us, qs = zip(*row)
+            else:  # isolated node (n == 1 graphs)
+                us, qs = (), ()
+            neighbor_tuples.append(us)
+            remote_port_tuples.append(qs)
+            neighbors.extend(us)
+            remote_ports.extend(qs)
+            degrees.append(len(row))
+            offsets.append(len(neighbors))
+        pk_of: dict = {}
+        self.n = len(adj)
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.remote_ports = remote_ports
+        self.degrees = degrees
+        self.neighbor_tuples = neighbor_tuples
+        self.remote_port_tuples = remote_port_tuples
+        # tuple equality covers length, so equal port keys imply equal
+        # degree — the static half of every refinement signature
+        self.port_keys = [
+            pk_of.setdefault(t, len(pk_of)) for t in remote_port_tuples
+        ]
+        self.num_port_keys = len(pk_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRAdjacency(n={self.n}, directed_edges={len(self.neighbors)})"
+
+
+def csr_of(g: PortGraph) -> CSRAdjacency:
+    """The graph's CSR view, derived on first use and cached on the
+    instance (PortGraphs are frozen, so this is sound)."""
+    csr = g._csr_cache
+    if csr is None:
+        csr = CSRAdjacency(g)
+        g._csr_cache = csr
+    return csr

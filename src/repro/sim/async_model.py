@@ -23,7 +23,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.coding.bitstring import Bits
-from repro.errors import SimulationError
+from repro.errors import PortNumberingError, SimulationError
 from repro.graphs.port_graph import PortGraph
 from repro.sim.local_model import NodeAlgorithm, NodeContext, RunResult
 from repro.sim.schedulers import RandomDelayScheduler, Scheduler
@@ -66,23 +66,31 @@ class AsyncEngine:
 
     def run(self) -> RunResult:
         g = self._g
+        from repro.graphs.csr import csr_of
+
+        csr = csr_of(g)
+        n = csr.n
+        degrees = csr.degrees
+        offsets = csr.offsets
+        dst_node = csr.neighbors
+        dst_port = csr.remote_ports
         scheduler = self._scheduler
         bind = getattr(scheduler, "bind", None)
         if bind is not None:
-            bind(g.n)
-        algorithms = [self._factory() for _ in g.nodes()]
+            bind(n)
+        algorithms = [self._factory() for _ in range(n)]
         if self._advice_map is not None:
             contexts = [
-                NodeContext(g.degree(v), self._advice_map.get(v))
-                for v in g.nodes()
+                NodeContext(degrees[v], self._advice_map.get(v))
+                for v in range(n)
             ]
         else:
             contexts = [
-                NodeContext(g.degree(v), self._advice) for v in g.nodes()
+                NodeContext(degrees[v], self._advice) for v in range(n)
             ]
         # per node: local round counter and round -> port -> message buffers
-        local_round = [0] * g.n
-        buffers: List[Dict[int, List[Optional[Any]]]] = [dict() for _ in g.nodes()]
+        local_round = [0] * n
+        buffers: List[Dict[int, List[Optional[Any]]]] = [dict() for _ in range(n)]
         total_messages = 0
 
         heap: List[Tuple[float, int, int, int, int, Any]] = []
@@ -91,11 +99,23 @@ class AsyncEngine:
         def send_round(u: int) -> None:
             """Node u composes and ships its round-(local_round[u]+1)
             messages with random delays and a round stamp."""
-            nonlocal total_messages
-            out = algorithms[u].compose(contexts[u]) or {}
+            nonlocal total_messages, undecided
+            ctx_u = contexts[u]
+            was_undecided = ctx_u._output_round is None
+            out = algorithms[u].compose(ctx_u) or {}
+            if was_undecided and ctx_u._output_round is not None:
+                undecided -= 1
             stamp = local_round[u] + 1
+            base = offsets[u]
             for port, msg in out.items():
-                v, q = g.neighbor(u, port)
+                if not (0 <= port < degrees[u]):
+                    raise PortNumberingError(
+                        f"node {u} has degree {degrees[u]}; "
+                        f"port {port} does not exist"
+                    )
+                slot = base + port
+                v = dst_node[slot]
+                q = dst_port[slot]
                 seq = next(counter)
                 delay = scheduler.delay(u, port, v, q, stamp, seq)
                 if not delay > 0:
@@ -119,19 +139,24 @@ class AsyncEngine:
         _PENDING = object()
         _now = [0.0]
 
-        for v in g.nodes():
+        for v in range(n):
             algorithms[v].setup(contexts[v])
-        if all(contexts[v].has_output for v in g.nodes()):
+        # decremented on every output transition: replaces the historical
+        # O(n) all(...) scan per delivered round
+        undecided = sum(
+            1 for v in range(n) if contexts[v]._output_round is None
+        )
+        if not undecided:
             return RunResult(
-                outputs={v: contexts[v].output_value for v in g.nodes()},
-                output_round={v: contexts[v]._output_round for v in g.nodes()},
+                outputs={v: contexts[v].output_value for v in range(n)},
+                output_round={v: contexts[v]._output_round for v in range(n)},
                 rounds=0,
                 total_messages=0,
             )
 
         # everyone launches round 1
-        for v in g.nodes():
-            buffers[v][local_round[v] + 1] = [_PENDING] * g.degree(v)
+        for v in range(n):
+            buffers[v][local_round[v] + 1] = [_PENDING] * degrees[v]
             send_round(v)
 
         events = 0
@@ -145,7 +170,7 @@ class AsyncEngine:
             _now[0] = time
             buf = buffers[v].setdefault(stamp, None)
             if buf is None:
-                buffers[v][stamp] = buf = [_PENDING] * g.degree(v)
+                buffers[v][stamp] = buf = [_PENDING] * degrees[v]
             if buf[q] is not _PENDING:
                 raise SimulationError(
                     f"duplicate round-{stamp} message on port {q} of a node"
@@ -156,13 +181,19 @@ class AsyncEngine:
                 stamp_done = local_round[v] + 1
                 inbox = buffers[v].pop(stamp_done)
                 local_round[v] = stamp_done
-                contexts[v]._round = stamp_done
-                algorithms[v].deliver(contexts[v], inbox)
-                if all(contexts[u].has_output for u in g.nodes()):
+                ctx = contexts[v]
+                ctx._round = stamp_done
+                was_undecided = ctx._output_round is None
+                algorithms[v].deliver(ctx, inbox)
+                if was_undecided and ctx._output_round is not None:
+                    undecided -= 1
+                if not undecided:
                     return RunResult(
-                        outputs={u: contexts[u].output_value for u in g.nodes()},
+                        outputs={
+                            u: contexts[u].output_value for u in range(n)
+                        },
                         output_round={
-                            u: contexts[u]._output_round for u in g.nodes()
+                            u: contexts[u]._output_round for u in range(n)
                         },
                         rounds=max(local_round),
                         total_messages=total_messages,
@@ -174,7 +205,7 @@ class AsyncEngine:
                     )
                 send_round(v)
 
-        stuck = [v for v in g.nodes() if not contexts[v].has_output]
+        stuck = [v for v in range(n) if not contexts[v].has_output]
         raise SimulationError(
             f"asynchronous run drained all events but {len(stuck)} nodes "
             f"never output (first few: {stuck[:5]})"

@@ -107,7 +107,10 @@ class NodeAlgorithm(Protocol):
 
     def deliver(self, ctx: NodeContext, inbox: List[Optional[Any]]) -> None:
         """Process the messages received this round; ``inbox[p]`` is the
-        message that arrived through local port ``p`` (None if none)."""
+        message that arrived through local port ``p`` (None if none).
+
+        The engine reuses the inbox buffer across rounds: consume it
+        during the call, do not retain or mutate it."""
 
 
 @dataclass
@@ -158,26 +161,47 @@ class SyncEngine:
 
     def run(self) -> RunResult:
         g = self._g
-        algorithms = [self._factory() for _ in g.nodes()]
+        # flat delivery arrays: the edge out of u through port p is slot
+        # offsets[u] + p, landing in inbox neighbors[slot] at local port
+        # remote_ports[slot] — no method call or tuple unpack per message
+        from repro.graphs.csr import csr_of
+
+        csr = csr_of(g)
+        n = csr.n
+        degrees = csr.degrees
+        offsets = csr.offsets
+        dst_node = csr.neighbors
+        dst_port = csr.remote_ports
+        algorithms = [self._factory() for _ in range(n)]
         if self._advice_map is not None:
             contexts = [
-                NodeContext(g.degree(v), self._advice_map.get(v))
-                for v in g.nodes()
+                NodeContext(degrees[v], self._advice_map.get(v))
+                for v in range(n)
             ]
         else:
             contexts = [
-                NodeContext(g.degree(v), self._advice) for v in g.nodes()
+                NodeContext(degrees[v], self._advice) for v in range(n)
             ]
 
-        for v in g.nodes():
+        for v in range(n):
             algorithms[v].setup(contexts[v])
+        undecided = sum(
+            1 for v in range(n) if contexts[v]._output_round is None
+        )
 
         per_round_messages: List[int] = []
         total_messages = 0
         rounds = 0
-        while any(not contexts[v].has_output for v in g.nodes()):
+        # inbox buffers are allocated once and reused: delivered slots are
+        # reset to None after each processing phase (O(messages), not O(m))
+        inboxes: List[List[Optional[Any]]] = [
+            [None] * degrees[v] for v in range(n)
+        ]
+        while undecided:
             if rounds >= self._max_rounds:
-                stuck = [v for v in g.nodes() if not contexts[v].has_output]
+                stuck = [
+                    v for v in range(n) if contexts[v]._output_round is None
+                ]
                 raise SimulationError(
                     f"simulation exceeded max_rounds={self._max_rounds}; "
                     f"{len(stuck)} nodes never output (first few: {stuck[:5]})"
@@ -186,37 +210,55 @@ class SyncEngine:
             # phase 1: everyone composes
             outboxes: List[Dict[int, Any]] = []
             round_messages = 0
-            for v in g.nodes():
-                out = algorithms[v].compose(contexts[v]) or {}
-                for port, msg in out.items():
-                    if not (0 <= port < g.degree(v)):
-                        raise AlgorithmError(
-                            f"node sent on port {port} but has degree {g.degree(v)}"
-                        )
-                    if self._paranoid:
-                        _check_message(msg)
-                round_messages += len(out)
+            for v in range(n):
+                ctx = contexts[v]
+                was_undecided = ctx._output_round is None
+                out = algorithms[v].compose(ctx) or {}
+                if was_undecided and ctx._output_round is not None:
+                    undecided -= 1
+                if out:
+                    dv = degrees[v]
+                    for port, msg in out.items():
+                        if not (0 <= port < dv):
+                            raise AlgorithmError(
+                                f"node sent on port {port} but has degree {dv}"
+                            )
+                        if self._paranoid:
+                            _check_message(msg)
+                    round_messages += len(out)
                 outboxes.append(out)
             if self._tracer is not None:
                 self._tracer.record_round(rounds, outboxes)  # after all compose
-            # phase 2: simultaneous delivery
-            inboxes: List[List[Optional[Any]]] = [
-                [None] * g.degree(v) for v in g.nodes()
-            ]
-            for u in g.nodes():
-                for port, msg in outboxes[u].items():
-                    v, q = g.neighbor(u, port)
-                    inboxes[v][q] = msg
+            # phase 2: simultaneous delivery, batched over the flat arrays
+            for u in range(n):
+                out = outboxes[u]
+                if out:
+                    base = offsets[u]
+                    for port, msg in out.items():
+                        slot = base + port
+                        inboxes[dst_node[slot]][dst_port[slot]] = msg
             # phase 3: everyone processes
-            for v in g.nodes():
-                contexts[v]._round = rounds
-                algorithms[v].deliver(contexts[v], inboxes[v])
+            for v in range(n):
+                ctx = contexts[v]
+                ctx._round = rounds
+                was_undecided = ctx._output_round is None
+                algorithms[v].deliver(ctx, inboxes[v])
+                if was_undecided and ctx._output_round is not None:
+                    undecided -= 1
+            # reset exactly the delivered slots for the next round
+            for u in range(n):
+                out = outboxes[u]
+                if out:
+                    base = offsets[u]
+                    for port in out:
+                        slot = base + port
+                        inboxes[dst_node[slot]][dst_port[slot]] = None
             total_messages += round_messages
             per_round_messages.append(round_messages)
 
         return RunResult(
-            outputs={v: contexts[v].output_value for v in g.nodes()},
-            output_round={v: contexts[v]._output_round for v in g.nodes()},
+            outputs={v: contexts[v].output_value for v in range(n)},
+            output_round={v: contexts[v]._output_round for v in range(n)},
             rounds=rounds,
             total_messages=total_messages,
             per_round_messages=per_round_messages,

@@ -35,7 +35,7 @@ from repro.views.view import (
     view_nested_tuple,
     views_of_graph,
 )
-from repro.views.order import view_compare, view_min, view_sort_key
+from repro.views.order import sort_views, view_compare, view_min, view_sort_key
 from repro.views.encoding import encode_b1
 from repro.views.election_index import (
     election_index,
@@ -63,6 +63,7 @@ __all__ = [
     "view_compare",
     "view_sort_key",
     "view_min",
+    "sort_views",
     "encode_b1",
     "election_index",
     "is_feasible",

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InfeasibleGraphError
 from repro.graphs.port_graph import PortGraph
-from repro.views.refinement import _num_classes, refinement_levels
+from repro.views.refinement import _RefinementEngine
 from repro.views.view import View
 
 
@@ -48,35 +48,36 @@ def view_partition_trace(
     g: PortGraph, max_depth: Optional[int] = None
 ) -> List[Tuple[int, int]]:
     """``[(depth, num_classes), ...]`` until the partition stabilizes or
-    becomes discrete (whichever first), capped at ``max_depth`` levels."""
-    trace: List[Tuple[int, int]] = []
-    prev_sig = None
-    for depth, sig in enumerate(refinement_levels(g, max_depth=max_depth)):
-        num_classes = _num_classes(sig)
-        trace.append((depth, num_classes))
-        if num_classes == g.n or sig == prev_sig:
+    becomes discrete (whichever first), capped at ``max_depth`` levels.
+
+    On stabilization the trace ends with the first *repeating* level
+    (same class count as its predecessor), mirroring how the historical
+    signature-comparison loop detected the fixed point."""
+    engine = _RefinementEngine(g)
+    trace: List[Tuple[int, int]] = [(0, engine.num_classes)]
+    depth = 0
+    if engine.discrete:
+        return trace
+    while max_depth is None or depth < max_depth:
+        changed = engine.step()
+        depth += 1
+        trace.append((depth, engine.num_classes))
+        if not changed or engine.discrete:
             break
-        prev_sig = sig
     return trace
 
 
 def election_index(g: PortGraph) -> int:
     """phi(G): minimum depth at which all augmented truncated views are
     distinct.  Raises :class:`InfeasibleGraphError` for infeasible graphs."""
-    prev_sig = None
-    for depth, sig in enumerate(refinement_levels(g)):
-        num_classes = _num_classes(sig)
-        if num_classes == g.n:
-            return depth
-        if sig == prev_sig:
-            # level `depth` repeats level `depth - 1`: the partition
-            # stabilized at `depth - 1` (StablePartition.depth agrees)
+    engine = _RefinementEngine(g)
+    while not engine.discrete:
+        if not engine.step():
             raise InfeasibleGraphError(
                 f"graph is infeasible: the view partition stabilizes at depth "
-                f"{depth - 1} with {num_classes} < n = {g.n} classes"
+                f"{engine.depth} with {engine.num_classes} < n = {g.n} classes"
             )
-        prev_sig = sig
-    raise AssertionError("unreachable")
+    return engine.depth
 
 
 def is_feasible(g: PortGraph) -> bool:

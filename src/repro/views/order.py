@@ -1,12 +1,11 @@
-"""The canonical total order on views.
+"""The canonical total order on views, as O(1) dense ranks.
 
 The paper orders augmented truncated views by the lexicographic order of
 their binary encodings ``bin(B)``.  Expanding ``bin(B^d)`` is exponential
 in d, so (as recorded in DESIGN.md) we use the equivalent device: a fixed,
-recursively defined total order on interned views, computable in O(1)
-amortized per comparison via memoization.  Every proof in the paper uses
-only that the order is total, fixed, and computable identically by the
-oracle and by every node — properties this order has.
+recursively defined total order on interned views.  Every proof in the
+paper uses only that the order is total, fixed, and computable identically
+by the oracle and by every node — properties this order has.
 
 Order definition (lexicographic on the canonical flattening):
 ``v < w`` iff ``(v.depth, v.degree, children)`` precedes
@@ -14,69 +13,145 @@ Order definition (lexicographic on the canonical flattening):
 port order, each as ``(remote_port, child_view)`` with the child compared
 recursively.  Views of unequal depth never mix in algorithm-relevant
 comparisons; depth participates only to make the order total.
+
+Implementation: **dense canonical ranks per depth** instead of memoized
+recursion.  Every interned view is registered per depth by ``View.make``
+(:mod:`repro.views.view`); on first use after new views of a depth appear,
+all views of that depth are sorted by ``(degree, ((q, rank(child)), ...))``
+— children represented by their depth-(l-1) ranks, made valid first — and
+assigned ranks ``0..N-1``.  Comparisons and sort keys are then integer
+lookups.  This is sound because
+
+* a child is always interned (and hence registered) before its parent, so
+  ranking level l-1 before level l covers every child;
+* re-ranking a depth after insertions preserves the *relative* order of
+  previously ranked views (the sort key is order-isomorphic under any
+  order-preserving renumbering of child ranks), so ranks of deeper views
+  computed earlier remain order-correct without cascading rebuilds;
+* the sort key is injective across distinct interned views of one depth
+  (equal keys would imply an identical intern key), so ranks are total.
+
+The induction bottoms out at depth 0, ordered by degree.  Parity with the
+recursive definition (kept below as :func:`_view_compare_recursive`, the
+executable specification) is pinned by ``tests/test_flat_kernels.py``.
+
+The rank tables key on view identity and are dropped by
+:func:`repro.views.view.clear_view_caches` alongside the intern table —
+never mix views from before and after a clear.
 """
 
 from __future__ import annotations
 
-import functools
 from typing import Dict, Iterable, List, Tuple
 
+from repro.views import view as _view_mod
 from repro.views.view import View
 
-_COMPARE_CACHE: Dict[Tuple[int, int], int] = {}
+#: interned view -> dense rank within its depth (0-based).
+_RANK: Dict[View, int] = {}
+#: depth -> how many registered views of that depth the last ranking saw.
+_RANKED_COUNT: Dict[int, int] = {}
+
+
+def _ensure_ranked(depth: int) -> None:
+    """(Re)build the rank table for ``depth`` if views were interned since
+    the last build; ranks for the children's depth are made valid first."""
+    registry = _view_mod._BY_DEPTH.get(depth)
+    if registry is None or _RANKED_COUNT.get(depth) == len(registry):
+        return
+    if depth > 0:
+        _ensure_ranked(depth - 1)
+        rank = _RANK
+        ordered = sorted(
+            registry,
+            key=lambda v: (
+                v.degree,
+                tuple((q, rank[c]) for q, c in v.children),
+            ),
+        )
+    else:
+        ordered = sorted(registry, key=lambda v: v.degree)
+    for i, v in enumerate(ordered):
+        _RANK[v] = i
+    _RANKED_COUNT[depth] = len(registry)
+
+
+def _clear_rank_tables() -> None:
+    """Called by :func:`repro.views.view.clear_view_caches`."""
+    _RANK.clear()
+    _RANKED_COUNT.clear()
 
 
 def view_compare(a: View, b: View) -> int:
     """Three-way comparison: -1, 0, +1 for a < b, a == b, a > b."""
     if a is b:
         return 0
-    key = (id(a), id(b))
-    found = _COMPARE_CACHE.get(key)
-    if found is not None:
-        return found
     if a.depth != b.depth:
-        result = -1 if a.depth < b.depth else 1
-    elif a.degree != b.degree:
-        result = -1 if a.degree < b.degree else 1
-    else:
-        result = 0
-        for (qa, ca), (qb, cb) in zip(a.children, b.children):
-            if qa != qb:
-                result = -1 if qa < qb else 1
-                break
-            sub = view_compare(ca, cb)
-            if sub != 0:
-                result = sub
-                break
-        # equal-length children with all components equal would mean the
-        # interned objects are identical, handled by `a is b` above
-        if result == 0:
-            raise AssertionError(
-                "distinct interned views compared equal: interning is broken"
-            )
-    _COMPARE_CACHE[key] = result
-    _COMPARE_CACHE[(id(b), id(a))] = -result
-    return result
+        return -1 if a.depth < b.depth else 1
+    _ensure_ranked(a.depth)
+    ra = _RANK[a]
+    rb = _RANK[b]
+    if ra == rb:
+        raise AssertionError(
+            "distinct interned views share a rank: interning is broken"
+        )
+    return -1 if ra < rb else 1
 
 
-view_sort_key = functools.cmp_to_key(view_compare)
-"""Key function for ``sorted``/``min``/``max`` over views."""
+def view_sort_key(v: View) -> Tuple[int, int]:
+    """Key function for ``sorted``/``min``/``max`` over views: the
+    ``(depth, rank)`` pair realizing the canonical order in O(1).
+
+    A returned key is only comparable against keys computed while the
+    intern table holds the same views of that depth: interning a new view
+    re-ranks its depth and shifts existing rank integers.  Compute all
+    keys of one comparison batch after all interning (``sorted`` does
+    this naturally — it materializes first, then keys)."""
+    _ensure_ranked(v.depth)
+    return (v.depth, _RANK[v])
 
 
 def view_min(views: Iterable[View]) -> View:
     """The canonically smallest view (the paper's "lexicographically
     smallest augmented truncated view")."""
-    it = iter(views)
+    # materialize before keying: a generator may intern views as it is
+    # consumed, and a re-rank mid-``min`` would invalidate the cached
+    # best key (see view_sort_key)
+    views = list(views)
     try:
-        best = next(it)
-    except StopIteration:
-        raise ValueError("view_min of an empty collection")
-    for v in it:
-        if view_compare(v, best) < 0:
-            best = v
-    return best
+        return min(views, key=view_sort_key)
+    except ValueError:
+        raise ValueError("view_min of an empty collection") from None
 
 
 def sort_views(views: Iterable[View]) -> List[View]:
     """Views sorted ascending in the canonical order."""
+    # ``sorted`` materializes the iterable before computing any key, so
+    # view-creating iterables are safe here without an explicit list()
     return sorted(views, key=view_sort_key)
+
+
+# ----------------------------------------------------------------------
+# the executable specification (reference implementation for tests)
+# ----------------------------------------------------------------------
+def _view_compare_recursive(a: View, b: View) -> int:
+    """The order's recursive definition, computed directly (no ranks, no
+    memoization).  Kept as the specification the rank tables are tested
+    against; not for production use."""
+    if a is b:
+        return 0
+    if a.depth != b.depth:
+        return -1 if a.depth < b.depth else 1
+    if a.degree != b.degree:
+        return -1 if a.degree < b.degree else 1
+    for (qa, ca), (qb, cb) in zip(a.children, b.children):
+        if qa != qb:
+            return -1 if qa < qb else 1
+        sub = _view_compare_recursive(ca, cb)
+        if sub != 0:
+            return sub
+    # equal-length children with all components equal would mean the
+    # interned objects are identical, handled by `a is b` above
+    raise AssertionError(
+        "distinct interned views compared equal: interning is broken"
+    )

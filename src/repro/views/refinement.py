@@ -10,17 +10,39 @@ interning view objects there is pure overhead, and it grows the global
 intern table that :func:`~repro.views.view.clear_view_caches` must later
 drop.
 
-This module runs the identical degree/port refinement on plain integer
-arrays.  Level 0 groups nodes by degree; level l+1 groups them by
-``(degree, ((q_0, class_l(u_0)), ..., (q_{d-1}, class_l(u_{d-1}))))`` —
-exactly the key of ``View.make`` with child views replaced by their class
-IDs.  Classes are numbered by first occurrence in node order, which makes
-every signature *equal as a tuple* to the one induced by the interned
-views (an induction mirroring the one in ``views/view.py``).  The parity
-is locked in by ``tests/test_views_refinement.py``.
+This module runs the identical degree/port refinement on the flat CSR
+arrays of :mod:`repro.graphs.csr`, with two structural accelerations over
+the naive per-level recomputation:
 
-Cost: O(phi * m) key material and zero View allocations; no global state,
-so nothing for :func:`clear_view_caches` to track.
+Static key folding
+    The level-(l+1) key of a node is
+    ``(degree, ((q_0, class_l(u_0)), ..., (q_{d-1}, class_l(u_{d-1}))))``.
+    Degree and the remote ports never change across levels, so they are
+    renumbered **once** into the CSR's dense ``port_keys``; the per-level
+    key shrinks to ``(port_key, class_l(u_0), ..., class_l(u_{d-1}))`` —
+    equal as a partition key because ``port_key`` is injective in
+    ``(degree, remote ports)``.
+
+Class splitting
+    Refinement only ever *splits* classes (the depth-(l+1) view determines
+    the depth-l view), so a singleton class can never change again.  The
+    engine keeps a worklist of non-singleton classes and recomputes keys
+    only for their members — on feasible graphs the worklist collapses
+    within a few levels and the tail levels are nearly free.  Internally
+    classes carry stable (non-dense) ids so untouched nodes keep theirs;
+    the dense first-occurrence numbering the callers see is produced per
+    level from those ids in one O(n) pass.
+
+Classes are numbered by first occurrence in node order, which makes every
+yielded signature *equal as a tuple* to the one induced by the interned
+views of :func:`~repro.views.view.view_levels` (an induction mirroring
+the one in ``views/view.py``).  The parity is locked in by
+``tests/test_views_refinement.py`` and the property tests of
+``tests/test_flat_kernels.py``.
+
+Cost: O(phi * m) worst case (symmetric graphs whose classes never shrink),
+much less in practice, and zero View allocations; no global state, so
+nothing for :func:`clear_view_caches` to track.
 """
 
 from __future__ import annotations
@@ -28,22 +50,128 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.graphs.csr import csr_of
 from repro.graphs.port_graph import PortGraph
 
 Signature = Tuple[int, ...]
 
 
-def _renumber(keys: List) -> Signature:
-    """Class ID per node, classes numbered by first occurrence."""
-    class_of: Dict = {}
-    sig: List[int] = []
-    for key in keys:
-        idx = class_of.get(key)
-        if idx is None:
-            idx = len(class_of)
-            class_of[key] = idx
-        sig.append(idx)
-    return tuple(sig)
+class _RefinementEngine:
+    """The class-splitting refinement over one graph's CSR arrays.
+
+    State after construction is level 0 (nodes grouped by degree); each
+    successful :meth:`step` advances one level.  ``depth`` is the current
+    level, ``num_classes`` its class count; :meth:`dense_signature`
+    materializes the level's first-occurrence class IDs.
+    """
+
+    __slots__ = (
+        "n",
+        "depth",
+        "num_classes",
+        "_sig",
+        "_pending",
+        "_next_id",
+        "_nbrs",
+        "_pk",
+        "_include_pk",
+    )
+
+    def __init__(self, g: PortGraph):
+        csr = csr_of(g)
+        n = self.n = csr.n
+        self._nbrs = csr.neighbor_tuples
+        self._pk = csr.port_keys
+        # level 0: group by degree, classes numbered by first occurrence
+        buckets: Dict[int, List[int]] = {}
+        for v, d in enumerate(csr.degrees):
+            buckets.setdefault(d, []).append(v)
+        sig = [0] * n
+        next_id = 0
+        pending: List[List[int]] = []
+        for members in buckets.values():
+            for v in members:
+                sig[v] = next_id
+            if len(members) > 1:
+                pending.append(members)
+            next_id += 1
+        self._sig = sig
+        self._next_id = next_id
+        self._pending = pending
+        self.num_classes = len(buckets)
+        self.depth = 0
+        # degree and remote ports participate in the key only until the
+        # first completed level: afterwards every surviving class is
+        # port_key-uniform (its members survived a key that included it)
+        self._include_pk = True
+
+    @property
+    def discrete(self) -> bool:
+        return self.num_classes == self.n
+
+    def step(self) -> bool:
+        """Advance one refinement level.  Returns False — with no state
+        change — iff the partition is already stable (or discrete): the
+        next level would merely repeat the current one."""
+        if not self._pending:
+            return False
+        sigget = self._sig.__getitem__
+        nbrs = self._nbrs
+        pk = self._pk
+        updates: List[List[int]] = []
+        new_pending: List[List[int]] = []
+        num = self.num_classes
+        include_pk = self._include_pk
+        for members in self._pending:
+            buckets = {}
+            grab = buckets.setdefault
+            # members of one class share a degree (level 0 groups by it);
+            # degree-1 classes — every leaf of a tree — key on a single
+            # int instead of allocating a tuple per member
+            if len(nbrs[members[0]]) == 1:
+                if include_pk:
+                    for v in members:
+                        grab((pk[v], sigget(nbrs[v][0])), []).append(v)
+                else:
+                    for v in members:
+                        grab(sigget(nbrs[v][0]), []).append(v)
+            elif include_pk:
+                for v in members:
+                    grab(
+                        (pk[v],) + tuple(map(sigget, nbrs[v])), []
+                    ).append(v)
+            else:
+                for v in members:
+                    grab(tuple(map(sigget, nbrs[v])), []).append(v)
+            if len(buckets) == 1:
+                new_pending.append(members)
+                continue
+            num += len(buckets) - 1
+            for bucket in buckets.values():
+                updates.append(bucket)
+                if len(bucket) > 1:
+                    new_pending.append(bucket)
+        self._include_pk = False
+        if not updates:
+            return False
+        sig = self._sig
+        next_id = self._next_id
+        for bucket in updates:
+            for v in bucket:
+                sig[v] = next_id
+            next_id += 1
+        self._next_id = next_id
+        self._pending = new_pending
+        self.num_classes = num
+        self.depth += 1
+        return True
+
+    def dense_signature(self) -> Signature:
+        """First-occurrence dense class IDs at the current level — the
+        tuple contract shared with the view-based numbering."""
+        class_of: Dict[int, int] = {}
+        grab = class_of.setdefault
+        return tuple(grab(c, len(class_of)) for c in self._sig)
 
 
 def refinement_levels(
@@ -54,16 +182,15 @@ def refinement_levels(
     :func:`~repro.views.view.view_levels` by first occurrence.
 
     Stops after ``max_depth`` levels if given, otherwise iterates forever
-    (callers break on their own condition, e.g. stabilization)."""
-    sig = _renumber([g.degree(v) for v in g.nodes()])
+    (callers break on their own condition, e.g. stabilization); once the
+    partition is stable every further level repeats the same signature."""
+    engine = _RefinementEngine(g)
+    sig = engine.dense_signature()
     depth = 0
     yield sig
     while max_depth is None or depth < max_depth:
-        keys = [
-            (g.degree(v), tuple((q, sig[u]) for (u, q) in g.ports(v)))
-            for v in g.nodes()
-        ]
-        sig = _renumber(keys)
+        if engine.step():
+            sig = engine.dense_signature()
         depth += 1
         yield sig
 
@@ -101,23 +228,11 @@ def stable_partition(g: PortGraph) -> StablePartition:
     """Run the refinement until the partition is discrete or stabilizes,
     whichever comes first; see :class:`StablePartition` for the stop depth
     convention."""
-    prev: Optional[Signature] = None
-    depth = 0
-    sig: Signature = ()
-    for depth, sig in enumerate(refinement_levels(g)):
-        if _num_classes(sig) == g.n:
-            break
-        if sig == prev:
-            # level `depth` merely repeats level `depth - 1`: the
-            # partition stabilized one level earlier
-            depth -= 1
-            break
-        prev = sig
+    engine = _RefinementEngine(g)
+    while not engine.discrete and engine.step():
+        pass
     return StablePartition(
-        signature=sig, depth=depth, num_classes=_num_classes(sig)
+        signature=engine.dense_signature(),
+        depth=engine.depth,
+        num_classes=engine.num_classes,
     )
-
-
-def _num_classes(sig: Signature) -> int:
-    # first-occurrence numbering: IDs are dense, so max + 1 counts classes
-    return max(sig) + 1 if sig else 0

@@ -25,6 +25,12 @@ from repro.graphs.port_graph import PortGraph
 
 _INTERN: Dict[tuple, "View"] = {}
 _TRUNCATE_CACHE: Dict[Tuple[int, int], "View"] = {}
+#: depth -> every interned view of that depth, in interning order.  The
+#: registry feeds the dense per-depth rank tables of
+#: :mod:`repro.views.order`: ranking level l needs all views of level
+#: l - 1, and a child is always interned before its parent, so walking
+#: depths upward over this registry is complete by construction.
+_BY_DEPTH: Dict[int, List["View"]] = {}
 
 
 class View:
@@ -70,6 +76,10 @@ class View:
         object.__setattr__(self, "children", children)
         object.__setattr__(self, "depth", depth)
         _INTERN[key] = self
+        registry = _BY_DEPTH.get(depth)
+        if registry is None:
+            registry = _BY_DEPTH[depth] = []
+        registry.append(self)
         return self
 
     def __setattr__(self, name, value):  # views are immutable
@@ -111,18 +121,27 @@ def view_levels(
     """Yield, for depth l = 0, 1, 2, ..., the list ``[B^l(v) for v in
     g.nodes()]``.  Stops after ``max_depth`` levels if given, otherwise
     iterates forever (callers break on their own condition, e.g. partition
-    stabilization)."""
-    current: List[View] = [View.make(g.degree(v), ()) for v in g.nodes()]
+    stabilization).
+
+    Runs on the graph's flat CSR arrays (:func:`repro.graphs.csr.csr_of`):
+    per node and level, the children tuple is one C-level ``zip`` over the
+    static remote-port tuple and the gathered neighbor views."""
+    from repro.graphs.csr import csr_of
+
+    csr = csr_of(g)
+    degrees = csr.degrees
+    nbrs = csr.neighbor_tuples
+    rports = csr.remote_port_tuples
+    make = View.make
+    current: List[View] = [make(d, ()) for d in degrees]
     depth = 0
     yield current
     while max_depth is None or depth < max_depth:
-        nxt: List[View] = []
-        for v in g.nodes():
-            children = tuple(
-                (q, current[u]) for (u, q) in g.ports(v)
-            )
-            nxt.append(View.make(g.degree(v), children))
-        current = nxt
+        gather = current.__getitem__
+        current = [
+            make(degrees[v], tuple(zip(rports[v], map(gather, nbrs[v]))))
+            for v in range(csr.n)
+        ]
         depth += 1
         yield current
 
@@ -196,17 +215,19 @@ def view_nested_tuple(view: View) -> tuple:
 
 # ----------------------------------------------------------------------
 def clear_view_caches() -> None:
-    """Drop the global intern and truncation tables (and the order caches,
-    which key on view identity).  Existing View objects remain valid but
-    newly built structurally-equal views will be fresh objects — so never
-    mix views from before and after a clear."""
+    """Drop the global intern and truncation tables, the per-depth view
+    registry, and the order rank tables (which key on view identity).
+    Existing View objects remain valid but newly built structurally-equal
+    views will be fresh objects — so never mix views from before and
+    after a clear."""
     from repro.sim import trace as _trace
     from repro.views import encoding as _encoding
     from repro.views import order as _order
 
     _INTERN.clear()
     _TRUNCATE_CACHE.clear()
-    _order._COMPARE_CACHE.clear()
+    _BY_DEPTH.clear()
+    _order._clear_rank_tables()
     _encoding._B1_CACHE.clear()
     # the tracer's DAG-size cache keys on id(view); once the intern table
     # is dropped those ids can be recycled by fresh views, and a stale

@@ -3,9 +3,9 @@
 Within a chunk, interning must be in full force (structurally equal views
 are one object, across graphs); at chunk boundaries,
 ``clear_view_caches()`` must actually release every process-local table —
-the intern table, the truncation cache, the order comparison cache and
-the B^1 encoding cache — so a long sweep's memory is bounded by its
-largest chunk.
+the intern table, the truncation cache, the per-depth view registry, the
+order rank tables and the B^1 encoding cache — so a long sweep's memory
+is bounded by its largest chunk.
 """
 
 from __future__ import annotations
@@ -52,14 +52,18 @@ def test_clear_view_caches_frees_every_table():
     encode_b1(views_of_graph(g, 1)[0])
     assert view_mod._INTERN
     assert view_mod._TRUNCATE_CACHE
-    assert order_mod._COMPARE_CACHE
+    assert view_mod._BY_DEPTH
+    assert order_mod._RANK
+    assert order_mod._RANKED_COUNT
     assert encoding_mod._B1_CACHE
 
     clear_view_caches()
     assert intern_table_size() == 0
     assert not view_mod._INTERN
     assert not view_mod._TRUNCATE_CACHE
-    assert not order_mod._COMPARE_CACHE
+    assert not view_mod._BY_DEPTH
+    assert not order_mod._RANK
+    assert not order_mod._RANKED_COUNT
     assert not encoding_mod._B1_CACHE
 
 
