@@ -261,6 +261,105 @@ def _scenario_conformance(quick: bool) -> List[Case]:
     return cases
 
 
+@register_scenario("service")
+def _scenario_service(quick: bool) -> List[Case]:
+    """The query service on a repeated-query mix: corpus-family graphs,
+    each queried several times under fresh node relabelings — the
+    workload the canonical-form cache exists for.  Cold runs disable the
+    cache (capacity 0: every query computes); warm runs pre-answer one
+    representative per isomorphism class and then serve the whole mix
+    from the cache.  Warm cases carry ``speedup_vs_cold`` against the
+    same mode's cold case — the number the acceptance gate reads."""
+    import random
+
+    from repro.corpus import get_family
+    from repro.graphs.canonical import relabel_nodes
+    from repro.service.api import ServiceCore
+    from repro.service.cache import ResultCache
+    from repro.views.refinement import stable_partition
+
+    if quick:
+        per_family, relabelings, repeats = 3, 3, 1
+        families = (
+            ("random-trees", dict(min_n=16, max_n=40)),
+            ("caterpillars", dict(min_spine=4, max_spine=8)),
+        )
+    else:
+        per_family, relabelings, repeats = 6, 5, 2
+        families = (
+            ("random-trees", dict(min_n=30, max_n=80)),
+            ("caterpillars", dict(min_spine=8, max_spine=16)),
+        )
+
+    # the mix: feasible graphs (elect is the paper's full pipeline and
+    # the service's heaviest task) from two tree-shaped families
+    bases = []
+    for family, params in families:
+        taken = 0
+        for name, g in get_family(family).generate(
+            per_family * 4, seed=0, **params
+        ):
+            if stable_partition(g).discrete:
+                bases.append(g)
+                taken += 1
+                if taken == per_family:
+                    break
+    rng = random.Random(7)
+    queries = []
+    for _ in range(relabelings):
+        for g in bases:
+            perm = list(range(g.n))
+            rng.shuffle(perm)
+            queries.append(relabel_nodes(g, perm))
+
+    def fresh_payloads() -> None:
+        # a real client ships a fresh payload per request: drop the
+        # derived caches so every timed query pays its canonicalization
+        for g in queries:
+            g._csr_cache = None
+            g._canon_cache = None
+
+    def run_single(core: ServiceCore) -> None:
+        fresh_payloads()
+        for g in queries:
+            core.query("elect", g)
+
+    def run_batch(core: ServiceCore) -> None:
+        fresh_payloads()
+        core.batch([("elect", g) for g in queries])
+
+    def cold_core() -> ServiceCore:
+        return ServiceCore(ResultCache(capacity=0))
+
+    def warm_core() -> ServiceCore:
+        core = ServiceCore(ResultCache())
+        for g in bases:
+            core.query("elect", g)
+        return core
+
+    cases: List[Case] = []
+    cold_seconds: Dict[str, float] = {}
+    for mode, run in (("single", run_single), ("batch", run_batch)):
+        for temp, make_core in (("cold", cold_core), ("warm", warm_core)):
+            core = make_core()  # built once: cold never caches, warm is
+            # pre-populated, so repeats measure a steady state either way
+            seconds, reps = _time_case(
+                lambda: run(core), repeats, clear_caches=True
+            )
+            case: Case = {
+                "case": f"{temp}-{mode}",
+                "seconds": seconds,
+                "repeats": reps,
+                "queries": len(queries),
+            }
+            if temp == "cold":
+                cold_seconds[mode] = seconds
+            elif seconds > 0:
+                case["speedup_vs_cold"] = cold_seconds[mode] / seconds
+            cases.append(case)
+    return cases
+
+
 # ----------------------------------------------------------------------
 # records, baselines, validation
 # ----------------------------------------------------------------------

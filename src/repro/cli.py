@@ -34,6 +34,14 @@ Commands
     validates existing records (the CI schema gate).
 ``report [--out FILE]``
     Regenerate the small-scale experiment report (markdown).
+``serve [--port P] [--cache FILE] [--warm STORE --warm-corpus SPEC]``
+    The online query service (:mod:`repro.service`): a JSON HTTP API
+    answering elect/index/advice/quotient requests, deduplicated through
+    the canonical-form result cache; ``--cache`` persists answers across
+    restarts and ``--warm`` pre-populates from batch result stores.
+``query TASK SPEC [--url URL]``
+    Client for scripts/CI: POST one graph to a running service and print
+    the JSON answer.
 
 Graph SPECs
 -----------
@@ -43,7 +51,10 @@ keyword integer arguments, e.g.::
     ring:8   necklace:5,3   lollipop:4,3   hk:6   random:20,extra_edges=10
     wheel:6  caterpillar is not spec-able (needs a list) — use @file.json
 
-``@path.json`` loads a serialized port graph (see repro.graphs.to_json).
+``@path.json`` loads a serialized port graph (see repro.graphs.to_json),
+and ``-`` reads one from stdin.  Both accept either the plain canonical
+dict or a ``{"name": ..., "graph": ...}`` envelope line as produced by
+``repro corpus emit`` (of a multi-line file, the first entry is used).
 """
 
 from __future__ import annotations
@@ -91,11 +102,38 @@ GENERATORS: Dict[str, Callable[..., PortGraph]] = {
 }
 
 
+def _graph_from_text(text: str, source: str) -> PortGraph:
+    """A graph from JSON text: the canonical dict, or the envelope line
+    shape of ``repro corpus emit`` (``{"name": ..., "graph": ...}``); of
+    a JSON-lines file, the first non-empty line is used."""
+    import json
+
+    from repro.graphs import from_payload
+
+    try:
+        data = json.loads(text)
+    except ValueError:
+        first = next((ln for ln in text.splitlines() if ln.strip()), "")
+        try:
+            data = json.loads(first)
+        except ValueError:
+            raise ReproError(f"{source}: not valid graph JSON") from None
+    try:
+        return from_payload(data)
+    except ReproError as exc:
+        raise ReproError(f"{source}: {exc}") from None
+
+
 def parse_graph_spec(spec: str) -> PortGraph:
     """Parse a graph SPEC (see module docstring) into a PortGraph."""
+    if spec == "-":
+        return _graph_from_text(sys.stdin.read(), "stdin")
     if spec.startswith("@"):
-        with open(spec[1:], "r", encoding="utf-8") as fh:
-            return from_json(fh.read())
+        try:
+            with open(spec[1:], "r", encoding="utf-8") as fh:
+                return _graph_from_text(fh.read(), spec[1:])
+        except OSError as exc:
+            raise ReproError(f"cannot read graph file '{spec[1:]}': {exc}") from None
     name, _, argtext = spec.partition(":")
     if name not in GENERATORS:
         raise ReproError(
@@ -219,15 +257,76 @@ def parse_corpus_spec(spec: str) -> List:
     return [(spec, parse_graph_spec(spec))]
 
 
+def iter_emitted_corpus(path: str):
+    """Lazily re-open a ``repro corpus emit`` JSONL file (or any file of
+    graph-dict lines) as a ``(name, graph)`` stream — the bridge that
+    lets sweeps and service warming consume emitted corpora.
+
+    A file holding exactly one plain graph (the historical ``@file.json``
+    single-graph spec, one- or multi-line) keeps its legacy entry name
+    ``@<path>``, so result stores written before this stream existed stay
+    resumable; envelope lines always use their embedded name, and files
+    of several plain graphs name entries ``<path>:<lineno>``."""
+    import json
+
+    from repro.graphs import from_payload, is_graph_envelope
+
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read corpus file '{path}': {exc}") from None
+    with fh:
+        pending = None  # a first plain-graph line, held back one line to
+        # see whether the file is a single legacy graph or a JSONL stream
+        first = True
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                if first:
+                    # not JSONL: one (possibly multi-line) JSON document
+                    # holding a single graph — the legacy @file.json spec
+                    yield f"@{path}", _graph_from_text(line + fh.read(), path)
+                    return
+                raise ReproError(
+                    f"{path}:{lineno}: not a valid corpus JSON line"
+                ) from None
+            if pending is not None:
+                yield pending
+                pending = None
+            try:
+                graph = from_payload(data)
+            except ReproError as exc:
+                raise ReproError(f"{path}:{lineno}: {exc}") from None
+            if is_graph_envelope(data):
+                name = data.get("name") or f"{path}:{lineno}"
+                yield str(name), graph
+            else:
+                entry = (f"{path}:{lineno}", graph)
+                if first:
+                    pending = entry  # defer: alone it keeps the legacy name
+                else:
+                    yield entry
+            first = False
+        if pending is not None:
+            # the file held exactly one plain graph: legacy spec name
+            yield f"@{path}", pending[1]
+
+
 def open_corpus_stream(spec: str):
     """Open any corpus SPEC as ``(lazy iterator, size hint or None)``.
 
     Family specs (``circulants:500,seed=3``; see ``repro corpus list``)
-    stream one graph at a time; the legacy specs of
-    :func:`parse_corpus_spec` are small and are simply wrapped.
+    stream one graph at a time; ``@path.jsonl`` re-opens a ``corpus
+    emit`` file; the legacy specs of :func:`parse_corpus_spec` are small
+    and are simply wrapped.
     """
     from repro.corpus import is_family_spec, parse_family_spec
 
+    if spec.startswith("@"):
+        return iter_emitted_corpus(spec[1:]), None
     if is_family_spec(spec):
         family, count, seed, params = parse_family_spec(spec)
         return family.generate(count, seed=seed, **params), count
@@ -421,6 +520,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from itertools import chain
+
+    from repro.service import (
+        ResultCache,
+        ServiceCore,
+        make_server,
+        serve_until_shutdown,
+        warm_from_stores,
+    )
+
+    if args.warm and not args.warm_corpus:
+        raise ReproError(
+            "--warm STORE needs --warm-corpus SPEC (the corpus the store "
+            "was swept over, e.g. a family spec or @emitted.jsonl) to "
+            "recover the graphs behind the store's entry names"
+        )
+    if args.warm_corpus and not args.warm:
+        raise ReproError(
+            "--warm-corpus has no effect without --warm STORE (the result "
+            "store holding the records to pre-populate from)"
+        )
+    cache = ResultCache(path=args.cache, capacity=args.capacity)
+    core = ServiceCore(cache, batch_chunk_size=args.chunk_size)
+    if cache.persisted:
+        print(f"cache: {cache.persisted} persisted entries loaded from "
+              f"{args.cache}")
+    if args.warm:
+        streams = [open_corpus_stream(spec)[0] for spec in args.warm_corpus]
+        warmed, skipped = warm_from_stores(
+            cache, args.warm, chain.from_iterable(streams)
+        )
+        print(f"warm: {warmed} entries from {len(args.warm)} store(s)"
+              + (f" ({skipped} records skipped)" if skipped else ""))
+    server = make_server(core, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} "
+          f"(tasks: {', '.join(core.tasks)}; Ctrl-C to stop)", flush=True)
+    serve_until_shutdown(server, install_signal_handlers=True)
+    if args.cache:
+        print(f"cache: {cache.persisted} entries persisted to {args.cache}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.graphs import to_dict
+
+    g = parse_graph_spec(args.spec)
+    url = args.url.rstrip("/") + f"/v1/{args.task}"
+    body = json.dumps({"graph": to_dict(g)}).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as resp:
+            payload = json.load(resp)
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.load(exc)
+        except ValueError:
+            detail = {"error": "HTTPError", "detail": str(exc)}
+        raise ReproError(
+            f"service rejected the query (HTTP {exc.code}): "
+            f"{detail.get('error')}: {detail.get('detail')}"
+        ) from None
+    except urllib.error.URLError as exc:
+        raise ReproError(
+            f"no service reachable at {args.url} ({exc.reason}); start one "
+            f"with `repro serve`"
+        ) from None
+    out = payload["record"] if args.record_only else payload
+    print(json.dumps(out, sort_keys=True, separators=(",", ":")))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -465,11 +643,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--corpus", default="default",
-        help="default[:MAX_N], phi:PHI[:k1,k2,...], or a single graph spec",
+        help="default[:MAX_N], phi:PHI[:k1,k2,...], a family spec, "
+        "@emitted.jsonl, or a single graph spec",
     )
     p.add_argument(
         "--task", default="elect",
-        help="engine task: elect, advice, index, messages, ablation",
+        help="engine task: elect, advice, index, quotient, messages, "
+        "ablation",
     )
     p.add_argument(
         "--workers", type=int, default=1,
@@ -583,6 +763,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="only validate the BENCH_*.json records under DIR, then exit",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the online query service (canonical-form result cache)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8008,
+        help="listen port (0 picks a free one; the chosen port is printed)",
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="persist the result cache to this JSONL file (reloaded — with "
+        "torn-tail repair — on restart, so answers survive the process)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=4096,
+        help="in-memory LRU entries (the persistence tier is unbounded)",
+    )
+    p.add_argument(
+        "--warm", action="append", default=[], metavar="STORE",
+        help="pre-populate from this sweep/conformance result store "
+        "(repeatable; needs --warm-corpus for the graphs)",
+    )
+    p.add_argument(
+        "--warm-corpus", action="append", default=[], metavar="SPEC",
+        help="corpus the warm stores were swept over: a family spec "
+        "(circulants:200,seed=3) or @emitted.jsonl (repeatable)",
+    )
+    p.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="corpus entries per engine chunk on the /v1/batch path",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "query", help="query a running service (client for scripts/CI)"
+    )
+    p.add_argument(
+        "task", help="service task: elect, index, advice or quotient"
+    )
+    p.add_argument(
+        "spec",
+        help="graph spec (generator, @file.json, or - for stdin; accepts "
+        "corpus-emit envelopes)",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8008",
+        help="base URL of the service",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="request timeout in seconds",
+    )
+    p.add_argument(
+        "--record", dest="record_only", action="store_true",
+        help="print only the cached engine record, not the full response "
+        "envelope (fingerprint, cache flag, relabeling)",
+    )
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("report", help="regenerate the experiment report")
     p.add_argument("--out", default=None, help="write markdown to this file")

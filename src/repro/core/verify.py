@@ -90,9 +90,16 @@ def leaders_equivalent(g: PortGraph, leader_a: int, leader_b: int) -> bool:
     """
     if leader_a == leader_b:
         return True
-    from repro.graphs.isomorphism import port_automorphism_maps
+    # An automorphism mapping a to b exists iff the rooted canonical
+    # certificates of (g, a) and (g, b) coincide — individualizing the
+    # root makes the port-deterministic relabeling discrete, so the O(m)
+    # certificate comparison decides exactly what the anchored VF2 search
+    # (:func:`repro.graphs.isomorphism.port_automorphism_maps`) decides;
+    # unequal certificates short-circuit to False without any search.
+    # Parity with VF2 is pinned by ``tests/test_graphs_canonical.py``.
+    from repro.graphs.canonical import rooted_certificate
 
-    return port_automorphism_maps(g, leader_a, leader_b)
+    return rooted_certificate(g, leader_a) == rooted_certificate(g, leader_b)
 
 
 def outcomes_equivalent(

@@ -139,10 +139,12 @@ def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
                     out.append((pos, result))
                 if not encoded and clear_caches:
                     # serial fast path: the caller's graph object outlives
-                    # the chunk, so drop the derived CSR arrays with the
-                    # other caches — memory stays bounded by the chunk,
-                    # not the corpus (decoded graphs die with the chunk)
+                    # the chunk, so drop the derived CSR arrays and the
+                    # canonical form with the other caches — memory stays
+                    # bounded by the chunk, not the corpus (decoded graphs
+                    # die with the chunk)
                     graph._csr_cache = None
+                    graph._canon_cache = None
             except EngineError:
                 raise  # already carries context (and pickles: str args only)
             except Exception as exc:

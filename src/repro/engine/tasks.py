@@ -182,6 +182,27 @@ def index_task(name: str, g: PortGraph) -> Record:
     }
 
 
+@register_task("quotient")
+def quotient_task(name: str, g: PortGraph) -> Record:
+    """The view quotient as a record: how much symmetry remains (class
+    count, stabilization depth, class-size profile).  All fields are
+    label invariants, which is what lets the query service cache and the
+    store warmer treat quotient answers as labeling-independent."""
+    from repro.views.quotient import view_quotient
+
+    q = view_quotient(g)
+    return {
+        "task": "quotient",
+        "name": name,
+        "n": g.n,
+        "m": g.num_edges,
+        "feasible": q.is_discrete,
+        "num_classes": q.num_classes,
+        "stabilization_depth": q.stabilization_depth,
+        "class_sizes": sorted((len(c) for c in q.classes), reverse=True),
+    }
+
+
 @register_task("messages")
 def messages_task(name: str, g: PortGraph) -> Record:
     """Traced message complexity of the three upper-bound algorithms on one

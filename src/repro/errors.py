@@ -58,6 +58,12 @@ class StoreError(EngineError):
     truncated-tail case (see :mod:`repro.engine.store`)."""
 
 
+class ServiceError(ReproError):
+    """The query service rejected a request (unknown task, malformed
+    graph payload or batch envelope) or its cache file is corrupt beyond
+    the repairable torn-tail case (see :mod:`repro.service.cache`)."""
+
+
 class ConformanceError(ReproError):
     """The conformance subsystem was misconfigured (unknown algorithm or
     schedule roster), as opposed to a *disagreement*, which is recorded in

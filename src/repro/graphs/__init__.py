@@ -12,6 +12,14 @@ notion of "same network" for anonymous algorithms).
 """
 
 from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+from repro.graphs.canonical import (
+    CanonicalForm,
+    canonical_form,
+    canonical_graph,
+    graph_fingerprint,
+    relabel_nodes,
+    rooted_certificate,
+)
 from repro.graphs.csr import CSRAdjacency, csr_of
 from repro.graphs.generators import (
     broom,
@@ -43,6 +51,8 @@ from repro.graphs.serialization import (
     from_dict,
     from_json,
     from_networkx,
+    from_payload,
+    is_graph_envelope,
     to_dict,
     to_json,
     to_networkx,
@@ -51,6 +61,12 @@ from repro.graphs.serialization import (
 __all__ = [
     "PortGraph",
     "PortGraphBuilder",
+    "CanonicalForm",
+    "canonical_form",
+    "canonical_graph",
+    "graph_fingerprint",
+    "relabel_nodes",
+    "rooted_certificate",
     "CSRAdjacency",
     "csr_of",
     "broom",
@@ -79,6 +95,8 @@ __all__ = [
     "from_dict",
     "from_json",
     "from_networkx",
+    "from_payload",
+    "is_graph_envelope",
     "to_dict",
     "to_json",
     "to_networkx",

@@ -1,0 +1,228 @@
+"""Canonical forms of port-numbered graphs: certificates and fingerprints.
+
+Two port-numbered graphs are "the same network" for every anonymous
+algorithm iff they are port-preservingly isomorphic
+(:mod:`repro.graphs.isomorphism`).  This module produces a **certificate**
+of that equivalence class: :func:`canonical_form` returns bytes such that
+
+    ``canonical_form(g1) == canonical_form(g2)``
+    iff ``g1`` and ``g2`` are port-isomorphic,
+
+and :func:`graph_fingerprint` is its sha256 — the content-address under
+which the query service (:mod:`repro.service`) deduplicates isomorphic
+requests.
+
+The algorithm is individualization-refinement collapsed to its port-graph
+special case.  In a connected port-numbered graph, *individualizing a
+single node makes the refinement discrete in one sweep*: starting from a
+fixed root, the breadth-first traversal that expands local ports in order
+``0..d-1`` visits nodes in an order determined entirely by the port
+structure, so the root alone induces a complete canonical relabeling
+(a port-isomorphism is determined by the image of one node).  The
+certificate is therefore
+
+    ``min over candidate roots r of encode(relabel(g, bfs_order(r)))``
+
+under the lexicographic order of the flattened adjacency encoding.  The
+refinement layer (:mod:`repro.views.refinement`) supplies the pruning:
+the encoding's lexicographic prefix is exactly the level-1 refinement key
+``(degree(r), remote ports of r)`` — the static half that
+:mod:`repro.graphs.csr` folds into ``port_keys`` — so only nodes of the
+lexicographically minimal level-1 class can win, and every other class is
+skipped without running its BFS.  On feasible graphs the stable partition
+is discrete and the candidate class is typically tiny; the worst case is
+a vertex-transitive graph (every node is a candidate), costing
+``O(n * m)`` — the price any certificate scheme pays for full symmetry.
+
+:func:`rooted_certificate` is the same encoding *without* the min over
+roots: it canonicalizes the pair ``(g, r)``, so
+
+    ``rooted_certificate(g, a) == rooted_certificate(g, b)``
+    iff some port-preserving automorphism of ``g`` maps ``a`` to ``b``
+
+— an exact O(m) replacement for the anchored VF2 search in the orbit
+check of :func:`repro.core.verify.leaders_equivalent` (parity with VF2 is
+locked in by ``tests/test_graphs_canonical.py``).
+
+Certificate bytes are the canonical JSON of the relabeled graph
+(:func:`repro.graphs.serialization.to_dict` layout), so a certificate is
+also a *constructive* witness: :func:`canonical_graph` rebuilds the
+canonical representative, and equal certificates yield an explicit
+isomorphism through the two relabelings (used by
+:func:`repro.graphs.isomorphism.port_isomorphism` to bypass VF2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graphs.csr import csr_of
+from repro.graphs.port_graph import PortGraph, PortGraphBuilder
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical form of one port graph.
+
+    Attributes
+    ----------
+    certificate:
+        Canonical JSON bytes of the relabeled graph — equal across all
+        port-isomorphic graphs, different otherwise.
+    fingerprint:
+        ``sha256(certificate)`` hex digest: the content address.
+    to_canonical:
+        The winning relabeling: node ``u`` of the original graph is node
+        ``to_canonical[u]`` of the canonical graph.
+    """
+
+    certificate: bytes
+    fingerprint: str
+    to_canonical: Tuple[int, ...]
+
+
+def _bfs_labels(csr, root: int) -> List[int]:
+    """The port-deterministic BFS relabeling from ``root``: FIFO over
+    discovery order, neighbors expanded in local port order.  Returns
+    ``labels`` with ``labels[u]`` the new id of node ``u`` (root -> 0)."""
+    labels = [-1] * csr.n
+    labels[root] = 0
+    order = [root]
+    nbrs = csr.neighbor_tuples
+    next_label = 1
+    for u in order:  # `order` grows while iterating: the BFS queue
+        for v in nbrs[u]:
+            if labels[v] < 0:
+                labels[v] = next_label
+                next_label += 1
+                order.append(v)
+    if next_label != csr.n:
+        raise GraphError(
+            "canonical form requires a connected graph"
+        )  # pragma: no cover - PortGraph construction enforces connectivity
+    return labels
+
+
+def _encoding(csr, labels: List[int]) -> List[int]:
+    """Flatten the relabeled adjacency into one int list: for each new
+    label ``0..n-1`` in order, ``degree`` then ``(label(nbr), remote
+    port)`` per local port.  Lexicographic comparison of these lists is
+    the total order the canonical root minimizes; its prefix is
+    ``(degree(root), remote ports of root)`` because the root's neighbors
+    receive labels ``1..d`` in port order."""
+    by_label = [0] * csr.n
+    for u, lab in enumerate(labels):
+        by_label[lab] = u
+    nbrs = csr.neighbor_tuples
+    rports = csr.remote_port_tuples
+    enc: List[int] = []
+    for u in by_label:
+        enc.append(csr.degrees[u])
+        for v, q in zip(nbrs[u], rports[u]):
+            enc.append(labels[v])
+            enc.append(q)
+    return enc
+
+
+def _certificate_bytes(g: PortGraph, labels: Sequence[int]) -> bytes:
+    """Serialize the relabeled graph in the canonical dict layout of
+    :mod:`repro.graphs.serialization` (sorted ``[u, p, v, q]`` edge list,
+    compact JSON) — byte-stable, and reconstructible via ``from_json``."""
+    edges = []
+    for (u, p, v, q) in g.edges():
+        a, b = labels[u], labels[v]
+        edges.append([a, p, b, q] if a < b else [b, q, a, p])
+    edges.sort()
+    return json.dumps(
+        {"edges": edges, "n": g.n}, sort_keys=True, separators=(",", ":")
+    ).encode("ascii")
+
+
+def rooted_certificate(g: PortGraph, root: int) -> bytes:
+    """Canonical bytes of the *rooted* graph ``(g, root)``.
+
+    Exactness (both directions): the port-deterministic BFS relabeling
+    from a root is mirrored step-by-step by any port-isomorphism, so
+    ``rooted_certificate(g1, r1) == rooted_certificate(g2, r2)`` iff some
+    port-preserving isomorphism ``g1 -> g2`` maps ``r1`` to ``r2``.  With
+    ``g1 is g2`` this decides anchored automorphism (node-orbit
+    membership) in O(m), replacing the VF2 search.
+    """
+    if not (0 <= root < g.n):
+        raise GraphError(f"root {root} must be in 0..{g.n - 1}")
+    return _certificate_bytes(g, _bfs_labels(csr_of(g), root))
+
+
+def canonical_form(g: PortGraph) -> CanonicalForm:
+    """The graph's canonical form, cached on the instance (PortGraphs are
+    frozen, so the cache can never go stale)."""
+    cached = g._canon_cache
+    if cached is None:
+        cached = _compute_canonical_form(g)
+        g._canon_cache = cached
+    return cached
+
+
+def _compute_canonical_form(g: PortGraph) -> CanonicalForm:
+    csr = csr_of(g)
+    # Candidate roots: only the lexicographically minimal level-1
+    # refinement class (degree, remote-port tuple) can produce the
+    # minimal encoding, because that pair is the encoding's prefix.
+    # Tuple comparison covers the degree: a shorter remote-port tuple
+    # sorts by its (shorter) length first via the explicit degree field.
+    best_key: Optional[Tuple[int, Tuple[int, ...]]] = None
+    candidates: List[int] = []
+    for v in range(csr.n):
+        key = (csr.degrees[v], csr.remote_port_tuples[v])
+        if best_key is None or key < best_key:
+            best_key = key
+            candidates = [v]
+        elif key == best_key:
+            candidates.append(v)
+    best_enc: Optional[List[int]] = None
+    best_labels: Optional[List[int]] = None
+    for root in candidates:
+        labels = _bfs_labels(csr, root)
+        enc = _encoding(csr, labels)
+        if best_enc is None or enc < best_enc:
+            best_enc = enc
+            best_labels = labels
+    assert best_labels is not None  # n >= 1: there is always a candidate
+    certificate = _certificate_bytes(g, best_labels)
+    return CanonicalForm(
+        certificate=certificate,
+        fingerprint=hashlib.sha256(certificate).hexdigest(),
+        to_canonical=tuple(best_labels),
+    )
+
+
+def graph_fingerprint(g: PortGraph) -> str:
+    """sha256 hex digest of :func:`canonical_form` — equal exactly for
+    port-isomorphic graphs (up to hash collision); the content address of
+    the service's result cache."""
+    return canonical_form(g).fingerprint
+
+
+def canonical_graph(g: PortGraph) -> PortGraph:
+    """The canonical representative of ``g``'s isomorphism class: the
+    relabeled graph the certificate serializes.  Port-isomorphic inputs
+    yield structurally *equal* (``==``) canonical graphs."""
+    return relabel_nodes(g, canonical_form(g).to_canonical)
+
+
+def relabel_nodes(g: PortGraph, perm: Sequence[int]) -> PortGraph:
+    """The graph with node ``u`` renamed ``perm[u]`` (ports untouched) —
+    a port-isomorphic copy by construction.  ``perm`` must be a
+    permutation of ``0..n-1``."""
+    if len(perm) != g.n or sorted(perm) != list(range(g.n)):
+        raise GraphError(
+            f"perm must be a permutation of 0..{g.n - 1}, got {list(perm)!r}"
+        )
+    b = PortGraphBuilder(g.n)
+    for (u, p, v, q) in g.edges():
+        b.add_edge(perm[u], p, perm[v], q)
+    return b.build()

@@ -50,6 +50,7 @@ class PortGraph:
         "_diameter_cache",
         "_ecc_cache",
         "_csr_cache",
+        "_canon_cache",
     )
 
     def __init__(self, adj: Sequence[Sequence[Endpoint]], _token: object = None):
@@ -63,9 +64,11 @@ class PortGraph:
         self._num_edges = sum(len(row) for row in self._adj) // 2
         self._diameter_cache: Optional[int] = None
         self._ecc_cache: Dict[int, int] = {}
-        # lazily derived flat-array view (repro.graphs.csr.csr_of); the
-        # graph is frozen, so the derived arrays can never go stale
+        # lazily derived flat-array view (repro.graphs.csr.csr_of) and
+        # canonical form (repro.graphs.canonical.canonical_form); the
+        # graph is frozen, so neither derived structure can go stale
         self._csr_cache: Optional[object] = None
+        self._canon_cache: Optional[object] = None
 
     # ------------------------------------------------------------------
     # basic accessors

@@ -45,6 +45,29 @@ def from_dict(data: Dict[str, Any], require_connected: bool = True) -> PortGraph
     return b.build(require_connected=require_connected)
 
 
+def is_graph_envelope(data: Any) -> bool:
+    """Whether ``data`` is the ``{"name": ..., "graph": {...}}`` envelope
+    shape of a ``repro corpus emit`` line (rather than a bare graph
+    dict).  The single authority for envelope detection — the CLI's spec
+    loaders and the service's request parser all defer to it."""
+    return isinstance(data, dict) and isinstance(data.get("graph"), dict)
+
+
+def from_payload(data: Any, require_connected: bool = True) -> PortGraph:
+    """A graph from either accepted payload shape: the canonical dict of
+    :func:`to_dict`, or a corpus-emit envelope carrying it under
+    ``"graph"``.  Raises :class:`CodingError` on anything else."""
+    if is_graph_envelope(data):
+        data = data["graph"]
+    if not isinstance(data, dict) or "edges" not in data:
+        raise CodingError(
+            'expected the canonical graph dict {"n": ..., "edges": '
+            '[[u, p, v, q], ...]} or a corpus-emit envelope carrying it '
+            'under "graph"'
+        )
+    return from_dict(data, require_connected=require_connected)
+
+
 def to_json(g: PortGraph) -> str:
     """JSON text of the canonical dict form (stable ordering)."""
     return json.dumps(to_dict(g), sort_keys=True, separators=(",", ":"))

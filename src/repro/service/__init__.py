@@ -1,0 +1,55 @@
+"""The online election-query service.
+
+Every pipeline before this package was batch-oriented: sweeps, benches
+and the conformance oracle recompute election/index answers from scratch
+per run, even on graphs already solved up to port-preserving isomorphism
+— exactly the equivalence the anonymous-network model cares about.  This
+package is the online front-end that amortizes those computations across
+clients and across past batch work:
+
+* :mod:`repro.service.cache` — the content-addressed result cache:
+  ``(fingerprint, task)`` keys over a bounded in-memory LRU plus an
+  append-only JSONL persistence tier (torn-tail repair on reopen), with
+  :func:`~repro.service.cache.warm_from_stores` joining existing sweep /
+  conformance result stores against their corpus streams so past batch
+  output pre-populates the service;
+* :mod:`repro.service.api` — :class:`~repro.service.api.ServiceCore`,
+  the transport-free pipeline (validate -> fingerprint -> cache lookup
+  -> compute through the engine task registry -> record), answering in
+  canonical coordinates so isomorphic queries get byte-identical
+  answers, plus the ``run_stream``-chunked batch path;
+* :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer`` JSON
+  API (``POST /v1/elect|index|advice|quotient``, ``POST /v1/batch``,
+  ``GET /healthz``, ``GET /metrics``).
+
+The fingerprint underneath is :func:`repro.graphs.canonical.
+graph_fingerprint`: sha256 of a certificate equal exactly for
+port-isomorphic graphs.  CLI entry points: ``repro serve`` and
+``repro query``.
+"""
+
+from repro.service.api import SERVICE_TASKS, QueryResult, ServiceCore
+from repro.service.cache import (
+    WARMABLE_TASKS,
+    ResultCache,
+    canonical_query_name,
+    warm_from_stores,
+)
+from repro.service.server import (
+    ServiceHTTPServer,
+    make_server,
+    serve_until_shutdown,
+)
+
+__all__ = [
+    "SERVICE_TASKS",
+    "WARMABLE_TASKS",
+    "QueryResult",
+    "ServiceCore",
+    "ResultCache",
+    "canonical_query_name",
+    "warm_from_stores",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve_until_shutdown",
+]

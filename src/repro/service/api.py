@@ -1,0 +1,315 @@
+"""The transport-free service core: validate -> fingerprint -> cache ->
+compute -> record.
+
+:class:`ServiceCore` is the whole behavior of the query service with no
+HTTP in sight — the unit the tests drive directly and the thin stdlib
+server (:mod:`repro.service.server`) wraps.  One instance is shared by
+all server threads.  Two locks partition the shared state:
+
+* the *bookkeeping* lock guards the cache and the metrics counters —
+  lookups and counter bumps from any thread interleave safely;
+* the *compute* lock serializes task execution.  The view machinery's
+  process-global caches (:mod:`repro.views.view`: the intern table, the
+  per-depth rank registries) are not thread-safe, and the engine's
+  bounded-memory discipline *clears* them after each unit of work — a
+  clear racing another thread's half-built views would corrupt identity
+  interning.  So every computation, and the ``clear_view_caches()``
+  that follows it (the service's unit of cache lifetime is one query,
+  mirroring the engine's one chunk; this is also what keeps a
+  long-running server's view tables from growing per distinct query
+  graph), runs under one lock.  Fingerprinting, cache hits and metrics
+  stay concurrent — the hot path of a warm service never blocks on a
+  compute.
+
+Canonical coordinates
+    Every computation runs on the *canonical* graph
+    (:func:`repro.graphs.canonical.canonical_graph`) under the
+    fingerprint-derived name, never on the submitted labeling.  So the
+    cached record — and the answer — is byte-identical no matter which
+    member of the isomorphism class a client submits, and byte-identical
+    to the offline engine record for the canonical graph.  The response
+    carries ``to_canonical`` (the submitted graph's relabeling) so a
+    client can translate node ids in the answer (e.g. ``elect``'s
+    leader) back into its own labeling.
+
+Batching
+    :meth:`ServiceCore.batch` answers a request list by serving hits
+    from the cache, deduplicating the misses by ``(fingerprint, task)``,
+    and fanning each task's residual graphs through the engine's
+    streaming path (:func:`repro.engine.run_stream`) in chunks — the
+    same execution discipline as a ``repro sweep``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine import EngineConfig, run_stream
+from repro.engine.records import Record
+from repro.engine.tasks import get_task
+from repro.errors import ReproError, ServiceError
+from repro.graphs.canonical import CanonicalForm, canonical_form
+from repro.graphs.port_graph import PortGraph
+from repro.service.cache import CacheKey, ResultCache, canonical_query_name
+
+#: The tasks the service exposes (one ``POST /v1/<task>`` route each).
+#: All are single-record engine tasks, so one query maps to one record.
+SERVICE_TASKS = ("advice", "elect", "index", "quotient")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query.
+
+    ``record`` is in canonical coordinates (see the module docstring);
+    ``to_canonical`` maps the *submitted* graph's node ``u`` to node
+    ``to_canonical[u]`` of the canonical graph the record refers to.
+    """
+
+    task: str
+    fingerprint: str
+    cached: bool
+    record: Record
+    to_canonical: Tuple[int, ...]
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON body the HTTP layer returns."""
+        return {
+            "task": self.task,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "name": canonical_query_name(self.fingerprint),
+            "to_canonical": list(self.to_canonical),
+            "record": self.record,
+        }
+
+
+def parse_graph_payload(payload: Any) -> PortGraph:
+    """A request's graph: either the canonical dict form itself or an
+    envelope with a ``graph`` field (the shape ``repro corpus emit``
+    writes; :func:`repro.graphs.serialization.from_payload` is the
+    single shape authority).  Raises :class:`ServiceError` on anything
+    else."""
+    from repro.graphs.serialization import from_payload
+
+    try:
+        return from_payload(payload)
+    except ReproError as exc:
+        raise ServiceError(f"invalid graph payload: {exc}") from exc
+
+
+class ServiceCore:
+    """The election-query service behind any transport.
+
+    ``tasks`` restricts the queryable engine tasks (default
+    :data:`SERVICE_TASKS`); ``batch_chunk_size``/``batch_workers``
+    configure the ``run_stream`` fan-out of :meth:`batch`.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        tasks: Sequence[str] = SERVICE_TASKS,
+        batch_chunk_size: Optional[int] = None,
+        batch_workers: int = 1,
+    ):
+        for task in tasks:
+            get_task(task)  # fail fast on unknown engine tasks
+        self.cache = cache if cache is not None else ResultCache()
+        self.tasks = tuple(tasks)
+        self.batch_chunk_size = batch_chunk_size
+        self.batch_workers = batch_workers
+        self._lock = threading.Lock()  # cache + metrics bookkeeping
+        self._compute_lock = threading.Lock()  # the global view caches
+        self._started = time.monotonic()
+        self._stats: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _task_stats(self, task: str) -> Dict[str, float]:
+        return self._stats.setdefault(
+            task, {"hits": 0, "misses": 0, "errors": 0, "latency_s": 0.0}
+        )
+
+    def _count(self, task: str, outcome: str, latency_s: float = 0.0) -> None:
+        with self._lock:
+            stats = self._task_stats(task)
+            stats[outcome] += 1
+            stats["latency_s"] += latency_s
+
+    def metrics(self) -> Dict[str, Any]:
+        """Hit/miss/error/latency counters, total and per task, plus the
+        cache tier sizes — the ``GET /metrics`` body."""
+        with self._lock:
+            tasks = {name: dict(stats) for name, stats in self._stats.items()}
+            cache = {
+                "memory_entries": len(self.cache),
+                "capacity": self.cache.capacity,
+                "persisted_entries": self.cache.persisted,
+                "path": self.cache.path,
+            }
+        totals = {
+            key: sum(stats[key] for stats in tasks.values())
+            for key in ("hits", "misses", "errors", "latency_s")
+        }
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "hits": int(totals["hits"]),
+            "misses": int(totals["misses"]),
+            "errors": int(totals["errors"]),
+            "latency_s": totals["latency_s"],
+            "tasks": tasks,
+            "cache": cache,
+        }
+
+    # ------------------------------------------------------------------
+    # the query path
+    # ------------------------------------------------------------------
+    def _check_task(self, task: str) -> None:
+        if task not in self.tasks:
+            raise ServiceError(
+                f"unknown service task '{task}'; served tasks: "
+                f"{', '.join(self.tasks)}"
+            )
+
+    def _lookup(self, key: CacheKey) -> Optional[Record]:
+        with self._lock:
+            return self.cache.get(key)
+
+    def _insert(self, key: CacheKey, record: Record) -> None:
+        with self._lock:
+            self.cache.put(key, record)
+
+    def _compute(self, task: str, form: CanonicalForm) -> Record:
+        """Run the engine task on the canonical graph under the
+        canonical name (so records are labeling-independent).  Runs
+        under the compute lock, and drops the process-global view caches
+        afterwards — one query is the service's view-cache lifetime,
+        exactly as one chunk is the engine's."""
+        from repro.graphs.serialization import from_json
+        from repro.views.view import clear_view_caches
+
+        graph = from_json(form.certificate.decode("ascii"))
+        with self._compute_lock:
+            try:
+                result = get_task(task)(
+                    canonical_query_name(form.fingerprint), graph
+                )
+            finally:
+                clear_view_caches()
+        if isinstance(result, list):  # pragma: no cover - guarded by tasks
+            raise ServiceError(
+                f"task '{task}' is multi-record and cannot be served"
+            )
+        return result
+
+    def query(self, task: str, graph: PortGraph) -> QueryResult:
+        """Answer one request: fingerprint, cache lookup, compute on
+        miss, record.  Task failures (e.g. ``elect`` on an infeasible
+        graph) count as errors and re-raise for the transport to map."""
+        self._check_task(task)
+        t0 = time.perf_counter()
+        form = canonical_form(graph)
+        key = (form.fingerprint, task)
+        record = self._lookup(key)
+        cached = record is not None
+        if not cached:
+            try:
+                record = self._compute(task, form)
+            except ReproError:
+                self._count(task, "errors", time.perf_counter() - t0)
+                raise
+            self._insert(key, record)
+        self._count(task, "hits" if cached else "misses", time.perf_counter() - t0)
+        return QueryResult(
+            task=task,
+            fingerprint=form.fingerprint,
+            cached=cached,
+            record=record,
+            to_canonical=form.to_canonical,
+        )
+
+    # ------------------------------------------------------------------
+    # the batch path
+    # ------------------------------------------------------------------
+    def batch(
+        self, requests: Iterable[Tuple[str, PortGraph]]
+    ) -> List[QueryResult]:
+        """Answer a request list: hits from the cache, the deduplicated
+        misses through ``run_stream`` in chunks, answers in request
+        order.  A task failure inside the fan-out fails the whole batch
+        (the engine's error carries the failing canonical name)."""
+        t0 = time.perf_counter()
+        items: List[Tuple[str, CanonicalForm, CacheKey, Optional[Record]]] = []
+        to_compute: Dict[str, Dict[str, PortGraph]] = {}  # task -> name->graph
+        key_of_name: Dict[Tuple[str, str], CacheKey] = {}
+        for task, graph in requests:
+            self._check_task(task)
+            form = canonical_form(graph)
+            key = (form.fingerprint, task)
+            hit = self._lookup(key)
+            items.append((task, form, key, hit))
+            if hit is None:
+                name = canonical_query_name(form.fingerprint)
+                if name not in to_compute.setdefault(task, {}):
+                    from repro.graphs.serialization import from_json
+
+                    to_compute[task][name] = from_json(
+                        form.certificate.decode("ascii")
+                    )
+                    key_of_name[(task, name)] = key
+
+        config = EngineConfig(
+            workers=self.batch_workers, chunk_size=self.batch_chunk_size
+        )
+        computed: Dict[CacheKey, Record] = {}
+        try:
+            # under the compute lock: the serial path of run_stream
+            # computes — and clears the global view caches — on this
+            # request thread (the parallel path computes in worker
+            # processes, but the coarse lock stays correct either way)
+            with self._compute_lock:
+                for task, graphs in to_compute.items():
+                    for record in run_stream(
+                        iter(graphs.items()), task, config
+                    ):
+                        key = key_of_name[(task, record["name"])]
+                        computed[key] = record
+                        self._insert(key, record)
+        except ReproError:
+            # the whole batch fails (the transport returns one error for
+            # every request), but the counters must still account for
+            # every item: hits stay hits, records that did get computed
+            # (and cached) are misses, everything else is an error
+            for task, _form, key, hit in items:
+                if hit is not None:
+                    self._count(task, "hits")
+                elif key in computed:
+                    self._count(task, "misses")
+                else:
+                    self._count(task, "errors")
+            raise
+
+        results: List[QueryResult] = []
+        latency_each = (time.perf_counter() - t0) / max(1, len(items))
+        for task, form, key, hit in items:
+            cached = hit is not None
+            record = hit if cached else computed[key]
+            self._count(task, "hits" if cached else "misses", latency_each)
+            results.append(
+                QueryResult(
+                    task=task,
+                    fingerprint=form.fingerprint,
+                    cached=cached,
+                    record=record,
+                    to_canonical=form.to_canonical,
+                )
+            )
+        return results
+
+    def close(self) -> None:
+        self.cache.close()

@@ -1,0 +1,302 @@
+"""The service's result cache: content-addressed, two-tiered, warmable.
+
+Keys
+    ``(fingerprint, task)`` — the sha256 of the graph's canonical
+    certificate (:func:`repro.graphs.canonical.graph_fingerprint`) and
+    the engine task name.  Content addressing is what deduplicates
+    isomorphic queries: every node relabeling of a graph maps to the same
+    key, so one computation serves the whole isomorphism class.
+
+Tiers
+    A bounded in-memory LRU (the hot tier the request path touches) over
+    an optional append-only JSONL file (the durable tier).  The file
+    reuses the :mod:`repro.engine.store` discipline: one canonical JSON
+    line per entry, flushed per append, and on reopen a *torn final line*
+    (a kill mid-write) is repaired by truncation while corruption
+    followed by further lines raises :class:`ServiceError` — interior
+    entries are never dropped silently.  The file is never evicted from,
+    and the load replays it streaming (O(line) memory) while recording a
+    ``key -> byte offset`` index; a lookup that misses the LRU re-reads
+    the entry from its offset and promotes it, so a restart with
+    ``--cache`` serves **every** previously computed answer no matter
+    how small the memory tier — an LRU eviction only ever costs one
+    line-sized file read, never a recompute.
+
+Warming
+    :func:`warm_from_stores` joins existing sweep/conformance
+    :class:`~repro.engine.store.ResultStore` files (keyed by corpus entry
+    *name*) against corpus streams that supply the graphs for those
+    names, fingerprints each graph, and inserts the records under their
+    content address — so past batch work pre-populates the service.
+    Stored records were computed on the corpus labeling; the service
+    computes on the *canonical* labeling, so warming canonicalizes each
+    record: the ``name`` becomes the canonical query name and, for
+    ``elect``, the ``leader`` is translated through the canonical
+    relabeling (every other warmable field is a label invariant, since
+    the algorithms are anonymous).  A warmed entry is therefore
+    byte-identical to what a cold service computation would produce —
+    asserted in ``tests/test_service_cache.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.engine.records import Record, record_to_json
+from repro.engine.store import load_records
+from repro.errors import ServiceError
+from repro.graphs.canonical import canonical_form
+from repro.graphs.port_graph import PortGraph
+
+#: A cache entry's identity: (canonical fingerprint, engine task name).
+CacheKey = Tuple[str, str]
+
+#: Tasks a ResultStore record can be warmed from: single-record tasks
+#: whose fields are label invariants — except ``elect``'s leader, which
+#: the warmer translates through the canonical relabeling.
+WARMABLE_TASKS = ("advice", "elect", "index", "quotient")
+
+DEFAULT_CAPACITY = 4096
+
+
+def canonical_query_name(fingerprint: str) -> str:
+    """The ``name`` field of service-computed records: derived from the
+    content address, never from the submitted labeling, so answers for
+    isomorphic queries are byte-identical."""
+    return f"graph:{fingerprint[:16]}"
+
+
+class ResultCache:
+    """Bounded LRU over an optional append-only JSONL persistence tier.
+
+    ``capacity`` bounds the *memory* tier only (0 disables it — every
+    lookup misses, which is what the cold benches use); the file keeps
+    every entry ever inserted.  Use as a context manager, or ``close()``
+    explicitly when persistent.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, capacity: int = DEFAULT_CAPACITY
+    ):
+        if capacity < 0:
+            raise ServiceError(f"capacity must be >= 0, got {capacity}")
+        self.path = path
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Record]" = OrderedDict()
+        #: durable tier index: key -> byte offset of its JSONL line
+        self._offsets: Dict[CacheKey, int] = {}
+        self._fh = None
+        self._read_fh = None
+        self._append_end = 0  # byte offset of the next appended line
+        if path is not None:
+            self._load_and_repair(path)
+            # newline="" disables os.linesep translation: the offset
+            # index counts "\n" as one byte, so the bytes on disk must
+            # match what len(line.encode()) accounted for on any OS
+            self._fh = open(path, "a", encoding="utf-8", newline="")
+            self._read_fh = open(path, "rb")
+            self._append_end = os.path.getsize(path)
+
+    # ------------------------------------------------------------------
+    # persistence tier
+    # ------------------------------------------------------------------
+    def _load_and_repair(self, path: str) -> None:
+        """Replay the JSONL file streaming — one line in memory at a
+        time — into the LRU (oldest first, so eviction keeps the most
+        recent entries) and the offset index; truncate a torn final
+        line (a kill mid-write)."""
+        if not os.path.exists(path):
+            return
+        valid_end = 0
+        with open(path, "rb") as fh:
+            lineno = 0
+            for line in fh:
+                lineno += 1
+                if not line.endswith(b"\n"):
+                    break  # torn tail: no terminator, nothing follows
+                try:
+                    entry = json.loads(line.decode("utf-8"))
+                    key, record = self._entry_key(entry)
+                except (UnicodeDecodeError, ValueError, ServiceError):
+                    # repairable only if nothing but blank space follows
+                    if any(rest.strip() for rest in fh):
+                        raise ServiceError(
+                            f"cache file '{path}' is corrupt at line "
+                            f"{lineno}: an unparsable entry is followed by "
+                            f"further entries (only a torn final line is "
+                            f"repairable)"
+                        ) from None
+                    break
+                self._offsets[key] = valid_end
+                valid_end += len(line)
+                self._remember(key, record)
+        if valid_end != os.path.getsize(path):
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    def _read_persisted(self, key: CacheKey) -> Record:
+        """Re-read one entry's line from its recorded byte offset (the
+        disk-tier fallback behind an LRU eviction)."""
+        self._fh.flush()
+        self._read_fh.seek(self._offsets[key])
+        _key, record = self._entry_key(
+            json.loads(self._read_fh.readline().decode("utf-8"))
+        )
+        return record
+
+    @staticmethod
+    def _entry_key(entry: Any) -> Tuple[CacheKey, Record]:
+        try:
+            fingerprint = entry["fingerprint"]
+            task = entry["task"]
+            record = entry["record"]
+        except (KeyError, TypeError) as exc:
+            raise ServiceError(
+                f"not a cache entry (every entry carries 'fingerprint', "
+                f"'task' and 'record'): {entry!r} ({exc})"
+            ) from None
+        if not (
+            isinstance(fingerprint, str)
+            and isinstance(task, str)
+            and isinstance(record, dict)
+        ):
+            raise ServiceError(f"malformed cache entry: {entry!r}")
+        return (fingerprint, task), record
+
+    # ------------------------------------------------------------------
+    # the LRU tier
+    # ------------------------------------------------------------------
+    def _remember(self, key: CacheKey, record: Record) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def get(self, key: CacheKey) -> Optional[Record]:
+        """The cached record, or None.  A memory hit refreshes LRU
+        recency; a memory miss falls back to the durable tier's offset
+        index (an eviction costs one line-sized file read, never a
+        recompute) and promotes the entry back into the LRU."""
+        record = self._entries.get(key)
+        if record is not None:
+            self._entries.move_to_end(key)
+            return record
+        if self._read_fh is not None and key in self._offsets:
+            record = self._read_persisted(key)
+            self._remember(key, record)
+            return record
+        return None
+
+    def put(self, key: CacheKey, record: Record) -> None:
+        """Insert (idempotently): the memory tier refreshes, the file
+        tier appends one canonical line per *new* key and flushes."""
+        self._remember(key, record)
+        if self._fh is not None and key not in self._offsets:
+            fingerprint, task = key
+            line = record_to_json(
+                {"fingerprint": fingerprint, "task": task, "record": record}
+            ) + "\n"
+            offset = self._append_end
+            self._fh.write(line)
+            self._fh.flush()
+            self._append_end = offset + len(line.encode("utf-8"))
+            self._offsets[key] = offset
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries or key in self._offsets
+
+    def __len__(self) -> int:
+        """Entries resident in the memory tier."""
+        return len(self._entries)
+
+    @property
+    def persisted(self) -> int:
+        """Entries durable in the file tier (0 when memory-only)."""
+        return len(self._offsets)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self._read_fh is not None:
+            self._read_fh.close()
+            self._read_fh = None
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# warming from batch stores
+# ----------------------------------------------------------------------
+def canonicalize_record(
+    record: Record, task: str, form, fingerprint: str
+) -> Record:
+    """Rewrite a store record into the exact record a service compute on
+    the canonical graph would produce: canonical ``name``, and the one
+    label-dependent field (``elect``'s leader) mapped through the
+    canonical relabeling.  ``form`` is the store graph's
+    :class:`~repro.graphs.canonical.CanonicalForm`."""
+    out = dict(record)
+    out["name"] = canonical_query_name(fingerprint)
+    if task == "elect" and isinstance(out.get("leader"), int):
+        out["leader"] = form.to_canonical[out["leader"]]
+    return out
+
+
+def warm_from_stores(
+    cache: ResultCache,
+    store_paths: Sequence[str],
+    corpus: Iterable[Tuple[str, PortGraph]],
+    tasks: Sequence[str] = WARMABLE_TASKS,
+) -> Tuple[int, int]:
+    """Pre-populate ``cache`` from batch result stores.
+
+    ``corpus`` supplies the ``(name, graph)`` entries the stores were
+    swept over (a corpus family stream, or a ``corpus emit`` file); only
+    names that appear in some store are fingerprinted, so re-opening a
+    large family to warm a small store stays cheap.
+
+    Returns ``(warmed, skipped)``: entries inserted, and store records
+    skipped (non-warmable task, sub-record of a group, or no graph with
+    that name in ``corpus``).
+    """
+    wanted = set(tasks)
+    by_name: Dict[str, Dict[str, Record]] = {}
+    skipped = 0
+    for path in store_paths:
+        for record in load_records(path):
+            task = record.get("task")
+            name = record.get("name")
+            if (
+                task not in wanted
+                or not isinstance(name, str)
+                or record.get("entry", name) != name
+            ):
+                skipped += 1
+                continue
+            by_name.setdefault(name, {})[task] = record
+    warmed = 0
+    for name, graph in corpus:
+        records = by_name.pop(name, None)
+        if not records:
+            continue
+        form = canonical_form(graph)
+        for task, record in records.items():
+            cache.put(
+                (form.fingerprint, task),
+                canonicalize_record(record, task, form, form.fingerprint),
+            )
+            warmed += 1
+        if not by_name:
+            break  # every store record matched; stop paying the stream
+    skipped += sum(len(records) for records in by_name.values())
+    return warmed, skipped

@@ -1,0 +1,252 @@
+"""The stdlib HTTP front-end of the query service.
+
+A :class:`ThreadingHTTPServer` wrapping one shared
+:class:`~repro.service.api.ServiceCore`.  Endpoints:
+
+``POST /v1/<task>`` (``elect`` | ``index`` | ``advice`` | ``quotient``)
+    Body: the canonical graph dict (``{"n": ..., "edges": [...]}``), or
+    an envelope carrying it under ``"graph"`` (the ``corpus emit`` line
+    shape).  Response: the query payload — fingerprint, cache hit flag,
+    the canonical-coordinates record, and the submitted graph's
+    ``to_canonical`` relabeling.
+
+``POST /v1/batch``
+    Body: ``{"requests": [{"task": ..., "graph": ...}, ...]}``.  Hits
+    come from the cache; the deduplicated misses fan out through the
+    engine's streaming path.  Response: ``{"results": [...]}`` in
+    request order.
+
+``GET /healthz``
+    Liveness: status, uptime, cache tier sizes.
+
+``GET /metrics``
+    The hit/miss/error/latency counters of
+    :meth:`~repro.service.api.ServiceCore.metrics`.
+
+Error mapping: malformed requests (bad JSON, bad graph, unknown task or
+route) return 400/404; a task failure on a valid graph (e.g. ``elect``
+on an infeasible network) returns 422 with the error class and detail.
+All bodies, including errors, are JSON.
+
+No third-party dependency: ``http.server`` is in the stdlib.  Request
+threads overlap freely on parsing, fingerprinting and cache hits; task
+*computations* serialize on the core's compute lock (the view caches
+are process-global — see :mod:`repro.service.api`), with batch fan-out
+via worker processes as the way to scale the compute side.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.errors import ReproError, ServiceError
+from repro.service.api import ServiceCore, parse_graph_payload
+
+#: Cap request bodies (a million-node graph dict is ~tens of MB; anything
+#: beyond this is a client error, not a workload).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The threaded server; carries the shared core for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], core: ServiceCore):
+        super().__init__(address, _Handler)
+        self.core = core
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def core(self) -> ServiceCore:
+        return self.server.core  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr chatter; metrics carry the counts."""
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # announce an error-path close (e.g. an unconsumed body) so
+            # keep-alive clients do not try to reuse the connection
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: Exception) -> None:
+        self._send_json(
+            status, {"error": type(exc).__name__, "detail": str(exc)}
+        )
+
+    def _read_json_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True  # undeclared body length: the
+            # connection cannot be resynchronized, drop it after the 400
+            raise ServiceError(
+                "Content-Length header must be an integer"
+            ) from None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # rejecting without consuming the declared body would leave
+            # its bytes in the socket and desynchronize keep-alive; the
+            # body is unread (or unbounded), so close after replying
+            self.close_connection = True
+            if length <= 0:
+                raise ServiceError("request body must be a JSON document")
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path == "/healthz":
+            metrics = self.core.metrics()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": metrics["uptime_s"],
+                    "tasks": list(self.core.tasks),
+                    "cache": metrics["cache"],
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_json(200, self.core.metrics())
+        else:
+            self._send_json(
+                404, {"error": "NotFound", "detail": f"no route {self.path}"}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            body = self._read_json_body()
+        except ServiceError as exc:
+            self._send_error_json(400, exc)
+            return
+        if self.path == "/v1/batch":
+            self._handle_batch(body)
+            return
+        if not self.path.startswith("/v1/"):
+            self._send_json(
+                404, {"error": "NotFound", "detail": f"no route {self.path}"}
+            )
+            return
+        task = self.path[len("/v1/") :]
+        if task not in self.core.tasks:
+            self._send_json(
+                404,
+                {
+                    "error": "NotFound",
+                    "detail": f"no task route '/v1/{task}'; served tasks: "
+                    f"{', '.join(self.core.tasks)}",
+                },
+            )
+            return
+        try:
+            graph = parse_graph_payload(body)
+        except ServiceError as exc:
+            self._send_error_json(400, exc)
+            return
+        try:
+            result = self.core.query(task, graph)
+        except ReproError as exc:
+            # a well-formed request the computation rejects, e.g. elect
+            # on an infeasible graph
+            self._send_error_json(422, exc)
+            return
+        self._send_json(200, result.payload())
+
+    def _handle_batch(self, body: Any) -> None:
+        try:
+            if not isinstance(body, dict) or not isinstance(
+                body.get("requests"), list
+            ):
+                raise ServiceError(
+                    'batch body must be {"requests": [{"task": ..., '
+                    '"graph": ...}, ...]}'
+                )
+            requests = []
+            for i, item in enumerate(body["requests"]):
+                if not isinstance(item, dict) or "task" not in item:
+                    raise ServiceError(
+                        f"batch request [{i}] must be an object with "
+                        f"'task' and 'graph'"
+                    )
+                requests.append(
+                    (item["task"], parse_graph_payload(item.get("graph")))
+                )
+        except ServiceError as exc:
+            self._send_error_json(400, exc)
+            return
+        try:
+            results = self.core.batch(requests)
+        except ServiceError as exc:
+            self._send_error_json(400, exc)
+            return
+        except ReproError as exc:
+            self._send_error_json(422, exc)
+            return
+        self._send_json(200, {"results": [r.payload() for r in results]})
+
+
+# ----------------------------------------------------------------------
+def make_server(
+    core: ServiceCore, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind (port 0 picks a free one — the tests' path) and return the
+    server; the caller drives ``serve_forever``/``shutdown``."""
+    return ServiceHTTPServer((host, port), core)
+
+
+def serve_until_shutdown(
+    server: ServiceHTTPServer,
+    install_signal_handlers: bool = False,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Run the accept loop until ``server.shutdown()`` (another thread)
+    or, with ``install_signal_handlers``, SIGTERM/SIGINT.  On exit the
+    socket is closed and the core's cache flushed shut — the clean
+    shutdown that makes the persisted JSONL complete.
+
+    Signal handlers can only be installed from the main thread; off it
+    the flag is ignored (the tests run the CLI loop in a worker thread
+    and stop it through ``shutdown()``)."""
+    if (
+        install_signal_handlers
+        and threading.current_thread() is threading.main_thread()
+    ):
+        # shutdown() blocks until the loop exits, so it must not run on
+        # the loop's own thread: trampoline through a one-shot thread
+        def _stop(signum, frame):  # pragma: no cover - signal path
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        server.core.close()
