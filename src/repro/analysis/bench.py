@@ -196,23 +196,41 @@ def _scenario_sweep(quick: bool) -> List[Case]:
 @register_scenario("strict")
 def _scenario_strict(quick: bool) -> List[Case]:
     """Strict-wire election: every message serialized to bits and decoded
-    back — the byte-honest engine plus the coding layer."""
+    back — the byte-honest engine plus the coding layer, broken down per
+    graph family (trees, caterpillars, lollipops) so a coding-layer
+    regression shows *where* it bites."""
     from repro.core.advice import compute_advice
     from repro.core.elect import ElectAlgorithm
-    from repro.graphs.generators import random_tree
+    from repro.graphs.generators import caterpillar, lollipop, random_tree
     from repro.sim import run_sync
     from repro.sim.strict import wire_wrapped
 
-    # seeds chosen so the trees are feasible (asserted below)
-    specs = (
-        [("elect-wire-tree-n24", 24, 2)]
-        if quick
-        else [("elect-wire-tree-n60", 60, 2), ("elect-wire-tree-n90", 90, 4)]
-    )
+    # parameters chosen so every graph is feasible (asserted below)
+    if quick:
+        specs = [
+            ("elect-wire-tree-n24", lambda: random_tree(24, seed=2)),
+            (
+                "elect-wire-caterpillar-s8",
+                lambda: caterpillar(8, (1, 3, 0, 2, 4, 0, 1, 2)),
+            ),
+            ("elect-wire-lollipop-k6t8", lambda: lollipop(6, 8)),
+        ]
+    else:
+        specs = [
+            ("elect-wire-tree-n60", lambda: random_tree(60, seed=2)),
+            ("elect-wire-tree-n90", lambda: random_tree(90, seed=4)),
+            (
+                "elect-wire-caterpillar-s16",
+                lambda: caterpillar(
+                    16, (1, 3, 0, 2, 4, 0, 1, 2, 5, 0, 3, 1, 2, 0, 4, 1)
+                ),
+            ),
+            ("elect-wire-lollipop-k8t20", lambda: lollipop(8, 20)),
+        ]
     repeats = 2 if quick else 3
     cases: List[Case] = []
-    for case_name, n, seed in specs:
-        g = random_tree(n, seed=seed)
+    for case_name, build in specs:
+        g = build()
         bundle = compute_advice(g)  # raises if infeasible: bad spec
 
         def run() -> None:
@@ -225,6 +243,90 @@ def _scenario_strict(quick: bool) -> List[Case]:
         seconds, reps = _time_case(run, repeats, clear_caches=True)
         cases.append(
             {"case": case_name, "seconds": seconds, "repeats": reps, "n": g.n}
+        )
+    return cases
+
+
+@register_scenario("elect-orbit")
+def _scenario_elect_orbit(quick: bool) -> List[Case]:
+    """The orbit-collapsed engine against the per-node engine on the
+    symmetric families where the collapse pays: each case runs the
+    uniform-advice depth-T view probe (the COM core every election
+    algorithm starts with) once per behavior class instead of once per
+    node.  ``seconds`` times the collapsed path end to end — partition
+    *plus* engine, nothing precomputed — and the per-node engine is
+    timed in-run on the identical workload; the ratio is emitted as
+    ``speedup_vs_pernode``, the number the CI gate reads (>= 3x on the
+    ``vertex-transitive`` cases).  The two runs are also compared for
+    equality first: a fast number from a wrong path is worthless."""
+    from repro.core.orbit_elect import behavior_classes, run_view_probe
+    from repro.graphs.generators import (
+        cycle_with_leader_gadget,
+        grid_torus,
+        hypercube,
+        lift,
+        ring,
+    )
+    from repro.views import clear_view_caches
+
+    if quick:
+        specs = [
+            ("probe-ring-n256", "vertex-transitive", lambda: ring(256), 8),
+            ("probe-torus-10x11", "vertex-transitive", lambda: grid_torus(10, 11), 8),
+            ("probe-hypercube-d6", "vertex-transitive", lambda: hypercube(6), 6),
+            (
+                "probe-lift-r12x3",
+                "lifts",
+                lambda: lift(cycle_with_leader_gadget(12), 3, seed=5),
+                8,
+            ),
+        ]
+        repeats = 2
+    else:
+        specs = [
+            ("probe-ring-n1024", "vertex-transitive", lambda: ring(1024), 10),
+            ("probe-torus-24x25", "vertex-transitive", lambda: grid_torus(24, 25), 10),
+            ("probe-hypercube-d8", "vertex-transitive", lambda: hypercube(8), 8),
+            (
+                "probe-lift-r40x3",
+                "lifts",
+                lambda: lift(cycle_with_leader_gadget(40), 3, seed=5),
+                10,
+            ),
+        ]
+        repeats = 3
+    cases: List[Case] = []
+    for case_name, family, build, depth in specs:
+        g = build()
+        part = behavior_classes(g)
+        clear_view_caches()
+        if run_view_probe(g, depth) != run_view_probe(g, depth, collapsed=False):
+            raise ReproError(
+                f"elect-orbit scenario: collapsed and per-node probes "
+                f"disagree on {case_name} — refusing to time a broken path"
+            )
+        seconds, reps = _time_case(
+            lambda: run_view_probe(g, depth), repeats, clear_caches=True
+        )
+        pernode_seconds, _ = _time_case(
+            lambda: run_view_probe(g, depth, collapsed=False),
+            repeats,
+            clear_caches=True,
+        )
+        cases.append(
+            {
+                "case": case_name,
+                "seconds": seconds,
+                "repeats": reps,
+                "n": g.n,
+                "family": family,
+                "depth": depth,
+                "orbits": part.num_orbits,
+                "pernode_seconds": pernode_seconds,
+                "speedup_vs_pernode": (
+                    pernode_seconds / seconds if seconds > 0 else None
+                ),
+            }
         )
     return cases
 

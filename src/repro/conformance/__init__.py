@@ -37,6 +37,7 @@ from repro.conformance.algorithms import (
     register_algorithm,
 )
 from repro.conformance.oracle import (
+    ORBIT_RULE,
     ConformanceConfig,
     conformance_entry,
     conformance_task_name,
@@ -51,6 +52,7 @@ __all__ = [
     "list_algorithms",
     "profile_graph",
     "register_algorithm",
+    "ORBIT_RULE",
     "ConformanceConfig",
     "conformance_entry",
     "conformance_task_name",

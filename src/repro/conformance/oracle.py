@@ -69,9 +69,12 @@ class ConformanceConfig:
     ``schedules``/``seed`` pick the adversarial roster
     (:func:`repro.sim.schedulers.make_schedules` — deterministic, so
     records are reproducible).  ``algorithms`` restricts the registry to
-    a subset (``None`` = all).  ``strict_async`` additionally composes
-    the wire codec with the *first* schedule.  ``rigidity_limit`` caps
-    the graph size for the VF2 rigidity cross-check (0 disables it).
+    a subset (``None`` = all; the ``orbit-collapse`` rule counts as a
+    member, so a subset that omits it skips the rule).  ``strict_async``
+    additionally composes the wire codec with the *first* schedule.
+    ``rigidity_limit`` caps the graph size for the VF2 rigidity
+    cross-check (0 disables it).  ``orbit_check`` toggles the
+    collapsed-vs-full rule (:func:`_check_orbit_collapse`).
     """
 
     schedules: int = DEFAULT_SCHEDULES
@@ -79,6 +82,7 @@ class ConformanceConfig:
     algorithms: Optional[Tuple[str, ...]] = None
     strict_async: bool = True
     rigidity_limit: int = 48
+    orbit_check: bool = True
 
     def schedule_roster(self) -> List[Schedule]:
         return make_schedules(self.schedules, self.seed)
@@ -362,6 +366,180 @@ def _check_algorithm(
     return record, base_leader, prepared.advice_bits, spec.leader_rule
 
 
+#: Name of the collapsed-vs-full rule in records and ``algorithms`` filters.
+ORBIT_RULE = "orbit-collapse"
+
+
+def _check_orbit_collapse(
+    entry: str,
+    g: PortGraph,
+    profile: Profile,
+    task_name: str,
+) -> Record:
+    """The collapsed-vs-full rule (:mod:`repro.core.orbit_elect`): the
+    exact automorphism orbits must refine the stable view partition (and
+    be discrete on feasible graphs), and the orbit-collapsed engine —
+    under both the exact-orbit and the behavior-class partition — must
+    reproduce the per-node engine's :class:`RunResult` field for field
+    on the uniform-advice view probe, whose outputs must in turn equal
+    the direct view computation; on feasible graphs the collapsed elect
+    pipeline must return the per-node pipeline's record exactly.  One
+    cell per comparison, disagreements recorded, never raised."""
+    from repro.core.orbit_elect import (
+        behavior_classes,
+        node_orbits,
+        run_elect_orbit,
+        run_view_probe,
+    )
+    from repro.views.refinement import stable_partition
+    from repro.views.view import views_of_graph
+
+    disagreements: List[Dict[str, Any]] = []
+    models: List[str] = []
+    probe_depth = profile.stabilization_depth + 1
+    num_orbits = None
+    max_orbit_size = None
+
+    def run_cell(model: str, thunk: Callable[[], Any]) -> Optional[Any]:
+        models.append(model)
+        try:
+            return thunk()
+        except ReproError as exc:
+            disagreements.append(
+                _disagreement(
+                    "run-failed", ORBIT_RULE, model,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            return None
+
+    stable = stable_partition(g)
+    orbits = run_cell("partition", lambda: node_orbits(g, stable))
+    classes = behavior_classes(g, stable)
+    if orbits is not None:
+        num_orbits = orbits.num_orbits
+        max_orbit_size = orbits.max_orbit_size
+        sig = stable.signature
+        mixed = [
+            members
+            for members in orbits.orbits
+            if len({sig[v] for v in members}) != 1
+        ]
+        if mixed:
+            disagreements.append(
+                _disagreement(
+                    "orbit-partition", ORBIT_RULE, "partition",
+                    f"an orbit crosses stable-partition classes (first: "
+                    f"{list(mixed[0])[:5]}); same-orbit nodes must share "
+                    f"views at every depth",
+                )
+            )
+        if profile.feasible and not orbits.discrete:
+            disagreements.append(
+                _disagreement(
+                    "orbit-partition", ORBIT_RULE, "partition",
+                    f"feasible graph has a non-singleton orbit "
+                    f"(num_orbits={orbits.num_orbits} < n={profile.n}); "
+                    f"contradicts Yamashita-Kameda rigidity",
+                )
+            )
+
+    base = run_cell(
+        "probe[pernode]", lambda: run_view_probe(g, probe_depth, collapsed=False)
+    )
+    if base is not None:
+        collapsed_runs = []
+        if orbits is not None:
+            collapsed_runs.append(("probe[orbit]", orbits))
+        collapsed_runs.append(("probe[class]", classes))
+        for model, partition in collapsed_runs:
+            result = run_cell(
+                model,
+                lambda partition=partition: run_view_probe(
+                    g, probe_depth, orbits=partition
+                ),
+            )
+            if result is not None and result != base:
+                fields = [
+                    f
+                    for f in (
+                        "outputs",
+                        "output_round",
+                        "rounds",
+                        "total_messages",
+                        "per_round_messages",
+                    )
+                    if getattr(result, f) != getattr(base, f)
+                ]
+                disagreements.append(
+                    _disagreement(
+                        "orbit-parity", ORBIT_RULE, model,
+                        f"collapsed probe run differs from the per-node "
+                        f"engine in {fields}",
+                    )
+                )
+
+        def views_match() -> bool:
+            views = views_of_graph(g, probe_depth)
+            return base.outputs == {v: views[v] for v in g.nodes()}
+
+        if run_cell("probe[views]", views_match) is False:
+            disagreements.append(
+                _disagreement(
+                    "orbit-parity", ORBIT_RULE, "probe[views]",
+                    f"probe outputs differ from the direct depth-"
+                    f"{probe_depth} view computation",
+                )
+            )
+
+    if profile.feasible:
+
+        def elect_parity() -> Optional[str]:
+            from repro.core.advice import compute_advice
+            from repro.core.elect import run_elect
+
+            bundle = compute_advice(g)
+            full = run_elect(g, bundle)
+            collapsed = run_elect_orbit(g, bundle, orbits=orbits)
+            if full != collapsed:
+                fields = [
+                    f
+                    for f in (
+                        "n",
+                        "phi",
+                        "advice_bits",
+                        "election_time",
+                        "leader",
+                        "total_messages",
+                    )
+                    if getattr(full, f) != getattr(collapsed, f)
+                ]
+                return f"collapsed elect record differs in {fields}"
+            return None
+
+        detail = run_cell("elect[orbit]", elect_parity)
+        if detail is not None:
+            disagreements.append(
+                _disagreement("orbit-parity", ORBIT_RULE, "elect[orbit]", detail)
+            )
+
+    return {
+        "task": task_name,
+        "name": f"{entry}/{ORBIT_RULE}",
+        "entry": entry,
+        "n": profile.n,
+        "algorithm": ORBIT_RULE,
+        "leader_rule": "collapsed",
+        "num_orbits": num_orbits,
+        "num_classes": classes.num_orbits,
+        "max_orbit_size": max_orbit_size,
+        "probe_depth": probe_depth,
+        "models": models,
+        "cells": len(models),
+        "disagreements": disagreements,
+    }
+
+
 def conformance_entry(
     name: str, g: PortGraph, config: Optional[ConformanceConfig] = None
 ) -> List[Record]:
@@ -445,6 +623,15 @@ def conformance_entry(
             min_view_leaders[spec.name] = leader
         if advice_bits is not None:
             advice_sizes[spec.name] = advice_bits
+
+    # --- the collapsed-vs-full rule -----------------------------------
+    if config.orbit_check and (
+        config.algorithms is None or ORBIT_RULE in config.algorithms
+    ):
+        record = _check_orbit_collapse(name, g, profile, task_name)
+        records.append(record)
+        ran.append(ORBIT_RULE)
+        total_cells += record["cells"]
 
     # --- cross-algorithm checks ---------------------------------------
     if len(set(min_view_leaders.values())) > 1:

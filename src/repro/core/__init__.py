@@ -24,6 +24,17 @@ from repro.core.trie_builder import build_trie
 from repro.core.advice import AdviceBundle, compute_advice, decode_advice
 from repro.core.elect import ElectAlgorithm, run_elect
 from repro.core.generic import GenericAlgorithm, run_generic
+from repro.core.orbit_elect import (
+    OrbitEngine,
+    OrbitPartition,
+    ViewProbeAlgorithm,
+    behavior_classes,
+    node_orbits,
+    run_elect_orbit,
+    run_orbit,
+    run_view_probe,
+    view_probe_factory,
+)
 from repro.core.elections import (
     MILESTONES,
     election_advice,
@@ -58,6 +69,15 @@ __all__ = [
     "run_elect",
     "GenericAlgorithm",
     "run_generic",
+    "OrbitEngine",
+    "OrbitPartition",
+    "ViewProbeAlgorithm",
+    "behavior_classes",
+    "node_orbits",
+    "run_elect_orbit",
+    "run_orbit",
+    "run_view_probe",
+    "view_probe_factory",
     "MILESTONES",
     "election_advice",
     "make_election_algorithm",

@@ -126,15 +126,13 @@ MESSAGES_ROUND_SLACK = 4
 # ----------------------------------------------------------------------
 # the built-in tasks
 # ----------------------------------------------------------------------
-@register_task("elect")
-def elect_task(name: str, g: PortGraph) -> Record:
-    """Full Theorem 3.1 pipeline: ComputeAdvice -> simulate Elect ->
-    verify.  The record superset of :class:`repro.analysis.sweep.SweepRecord`."""
-    from repro.core.elect import run_elect
-
-    rec = run_elect(g)
+def _elect_record(task: str, name: str, g: PortGraph, rec) -> Record:
+    """The shared ``elect`` record shape, from an
+    :class:`repro.core.elect.ElectRunRecord` — one schema for the
+    per-node and the orbit-collapsed pipelines, so their records can be
+    compared (and served) byte for byte."""
     return {
-        "task": "elect",
+        "task": task,
         "name": name,
         "n": g.n,
         "phi": rec.phi,
@@ -144,6 +142,44 @@ def elect_task(name: str, g: PortGraph) -> Record:
         "total_messages": rec.total_messages,
         "bits_per_nlogn": rec.advice_bits / _nlogn_envelope(g.n),
     }
+
+
+@register_task("elect")
+def elect_task(name: str, g: PortGraph) -> Record:
+    """Full Theorem 3.1 pipeline: ComputeAdvice -> simulate Elect ->
+    verify.  The record superset of :class:`repro.analysis.sweep.SweepRecord`."""
+    from repro.core.elect import run_elect
+
+    return _elect_record("elect", name, g, run_elect(g))
+
+
+@register_task("elect-orbit")
+def elect_orbit_task(name: str, g: PortGraph) -> Record:
+    """The elect pipeline through the orbit-collapsed engine
+    (:mod:`repro.core.orbit_elect`): identical fields plus the collapse
+    accounting (``num_orbits``, ``max_orbit_size``).  Every field shared
+    with ``elect`` must be equal — the conformance oracle's
+    collapsed-vs-full rule checks exactly that."""
+    from repro.core.orbit_elect import node_orbits, run_elect_orbit
+    from repro.views.refinement import stable_partition
+
+    stable = stable_partition(g)
+    orbits = node_orbits(g, stable)
+    rec = run_elect_orbit(g, orbits=orbits)
+    record = _elect_record("elect-orbit", name, g, rec)
+    record["num_orbits"] = orbits.num_orbits
+    record["max_orbit_size"] = orbits.max_orbit_size
+    return record
+
+
+def elect_record_via_orbits(name: str, g: PortGraph) -> Record:
+    """The exact ``elect`` task record, computed through the collapsed
+    engine — the service's fast path (:mod:`repro.service.api`).  Same
+    ``task`` field and byte-identical canonical JSON as
+    :func:`elect_task` on the same graph."""
+    from repro.core.orbit_elect import run_elect_orbit
+
+    return _elect_record("elect", name, g, run_elect_orbit(g))
 
 
 @register_task("advice")

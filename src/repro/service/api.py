@@ -107,6 +107,10 @@ class ServiceCore:
     ``tasks`` restricts the queryable engine tasks (default
     :data:`SERVICE_TASKS`); ``batch_chunk_size``/``batch_workers``
     configure the ``run_stream`` fan-out of :meth:`batch`.
+    ``orbit_collapse`` (default on) routes cold ``elect`` queries
+    through the orbit-collapsed engine (:mod:`repro.core.orbit_elect`);
+    the resulting record is byte-identical to the per-node engine
+    record, so cache contents are independent of the flag.
     """
 
     def __init__(
@@ -115,11 +119,13 @@ class ServiceCore:
         tasks: Sequence[str] = SERVICE_TASKS,
         batch_chunk_size: Optional[int] = None,
         batch_workers: int = 1,
+        orbit_collapse: bool = True,
     ):
         for task in tasks:
             get_task(task)  # fail fast on unknown engine tasks
         self.cache = cache if cache is not None else ResultCache()
         self.tasks = tuple(tasks)
+        self.orbit_collapse = orbit_collapse
         self.batch_chunk_size = batch_chunk_size
         self.batch_workers = batch_workers
         self._lock = threading.Lock()  # cache + metrics bookkeeping
@@ -196,9 +202,20 @@ class ServiceCore:
         graph = from_json(form.certificate.decode("ascii"))
         with self._compute_lock:
             try:
-                result = get_task(task)(
-                    canonical_query_name(form.fingerprint), graph
-                )
+                if task == "elect" and self.orbit_collapse:
+                    # the orbit-collapsed fast path: one simulated node
+                    # per orbit, record byte-identical to the engine's
+                    # per-node `elect` record (the conformance oracle's
+                    # collapsed-vs-full rule is the standing proof)
+                    from repro.engine.tasks import elect_record_via_orbits
+
+                    result = elect_record_via_orbits(
+                        canonical_query_name(form.fingerprint), graph
+                    )
+                else:
+                    result = get_task(task)(
+                        canonical_query_name(form.fingerprint), graph
+                    )
             finally:
                 clear_view_caches()
         if isinstance(result, list):  # pragma: no cover - guarded by tasks

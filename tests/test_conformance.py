@@ -243,8 +243,15 @@ class TestOracle:
         assert all(r["entry"] == "gadget6" for r in subs)
         assert all(r["name"].startswith("gadget6/") for r in subs)
         assert set(summary["algorithms"]) == {r["algorithm"] for r in subs}
-        # every sub-record covered local, strict, async and strict-async
+        # every per-algorithm sub-record covered local, strict, async and
+        # strict-async; the orbit-collapse rule compares engines, not sim
+        # models, so its model axis is its own
         for r in subs:
+            if r["algorithm"] == "orbit-collapse":
+                assert "probe[pernode]" in r["models"]
+                assert "probe[orbit]" in r["models"]
+                assert "elect[orbit]" in r["models"]  # gadget6 is feasible
+                continue
             assert "local" in r["models"] and "strict" in r["models"]
             assert any(m.startswith("async[") for m in r["models"])
             assert any(m.startswith("strict-async[") for m in r["models"])
@@ -253,9 +260,28 @@ class TestOracle:
         records = conformance_entry("torus", grid_torus(3, 3))
         summary = records[-1]
         assert summary["feasible"] is False
-        assert summary["algorithms"] == ["labeling-scheme"]
+        assert summary["algorithms"] == ["labeling-scheme", "orbit-collapse"]
         assert "elect" in summary["skipped"]
         assert summary["total_disagreements"] == 0
+
+    def test_orbit_check_knob_and_subset_filtering(self):
+        """The collapsed-vs-full rule is on by default, off under
+        ``orbit_check=False``, and — like any algorithm — skipped by a
+        subset that omits it and kept by one that names it."""
+        g = grid_torus(3, 3)
+        on = conformance_entry("t", g, ConformanceConfig(schedules=1))
+        off = conformance_entry(
+            "t", g, ConformanceConfig(schedules=1, orbit_check=False)
+        )
+        assert "orbit-collapse" in on[-1]["algorithms"]
+        assert "orbit-collapse" not in off[-1]["algorithms"]
+        only = conformance_entry(
+            "t",
+            g,
+            ConformanceConfig(schedules=1, algorithms=("orbit-collapse",)),
+        )
+        assert only[-1]["algorithms"] == ["orbit-collapse"]
+        assert only[-1]["total_disagreements"] == 0
 
     def test_min_view_leaders_coincide(self):
         g = cycle_with_leader_gadget(8)
@@ -484,7 +510,9 @@ class TestConformanceCli:
         # both sweeps' records are in the file, but the summary counts
         # only the schedules=2 task: 2 entries, not 4
         assert "2 entries" in text
-        assert len(list(load_records(out))) == 8  # 2 groups x 2 tasks x 2
+        # 2 entries x 2 tasks x 3 records (labeling-scheme, orbit-collapse,
+        # summary) per group
+        assert len(list(load_records(out))) == 12
 
     def test_cli_resume_requires_out(self, capsys):
         rc = cli_main(["conformance", "--resume"])

@@ -67,13 +67,17 @@ class TestGoldenConformance:
     """
 
     #: (family, sha256 of the canonical JSONL of the first entry's group)
+    #: — re-pinned when the orbit-collapse rule joined every group (the
+    #: collapsed-vs-full sub-record is part of the canonical bytes now)
     GOLDEN_GROUPS = [
         ("tori",
-         "4548c55a52edafe2ded991b5cd0b4b86c517af9e1d91d0a4a8c8ee040f7a6c74"),
+         "ebe33cf2a90579f10c26e9f98fe8fcd1eb1d98577e14877fdc90cb5dd0a703b2"),
         ("random-trees",
-         "7085a790af6c83f499bcd952def94edae4a562e051dacc88417101c259dd0a23"),
+         "4de2c031e20271bf16b6c5b4291114d45da96917d5ede12e862775c89f918d14"),
         ("lifts",
-         "cf1ce2fc6a2b6cb55660ce732c83e42cdae2ae8bf541ace0568119462ac5a67b"),
+         "5b6e271a4d88be231e1e44b3418180ad5836bbe5924577cbbb22851bd2494b2f"),
+        ("random-regular",
+         "7f3323706f32130d983b06e6fe25538d0f88ee7abf8657d241bd50b452a28c96"),
     ]
 
     @staticmethod
@@ -112,23 +116,60 @@ class TestGoldenConformance:
         assert name == "random-trees-s0-00000-n30"
         assert (summary["n"], summary["phi"], summary["diameter"]) == (30, 3, 9)
         assert summary["feasible"] is True
-        assert summary["cells"] == 30
+        assert summary["cells"] == 36
         assert summary["total_disagreements"] == 0
         assert summary["advice_bits"] == {"elect": 14952, "map-based": 5398}
         assert summary["algorithms"] == [
             "elect", "known-d-phi", "labeling-scheme", "map-based",
-            "tree-no-advice",
+            "tree-no-advice", "orbit-collapse",
         ]
         # the summary is the group terminator the store keys resume on
         assert summary["name"] == summary["entry"]
         assert json.loads(record_to_json(summary)) == summary
 
+    def test_orbit_collapse_sub_record_fields(self):
+        """The collapsed-vs-full rule's sub-record, pinned readably: a
+        feasible tree collapses to singletons (rigidity), a torus to one
+        orbit, a 3-fold lift to base-size classes of size 3."""
+        expectations = {
+            "random-trees": dict(
+                num_orbits=30, num_classes=30, max_orbit_size=1,
+                probe_depth=4, cells=6,
+            ),
+            "tori": dict(
+                num_orbits=1, num_classes=1, max_orbit_size=54,
+                probe_depth=1, cells=5,
+            ),
+            "lifts": dict(
+                num_orbits=11, num_classes=11, max_orbit_size=3,
+                probe_depth=5, cells=5,
+            ),
+        }
+        for family, expected in expectations.items():
+            _, records, _ = self._first_entry_group(family)
+            orbit = [
+                r for r in records if r.get("algorithm") == "orbit-collapse"
+            ]
+            assert len(orbit) == 1
+            rec = orbit[0]
+            assert {k: rec[k] for k in expected} == expected
+            assert rec["disagreements"] == []
+            # elect runs through the collapsed engine only where election
+            # is possible at all (feasible => every orbit is a singleton)
+            assert ("elect[orbit]" in rec["models"]) == (
+                expected["max_orbit_size"] == 1
+            )
+
     def test_infeasible_families_run_labeling_scheme_only(self):
+        """Infeasible entries skip every election algorithm; the two
+        graph-level rules (labeling scheme, orbit collapse) still run."""
         for family in ("tori", "lifts"):
             _, records, _ = self._first_entry_group(family)
             summary = records[-1]
             assert summary["feasible"] is False
-            assert summary["algorithms"] == ["labeling-scheme"]
+            assert summary["algorithms"] == [
+                "labeling-scheme", "orbit-collapse",
+            ]
             assert summary["total_disagreements"] == 0
 
 

@@ -204,6 +204,64 @@ class TestRootedCertificate:
             rooted_certificate(ring(5), 5)
 
 
+class TestOrbitPartition:
+    """The collapse partitions of :mod:`repro.core.orbit_elect` are graph
+    properties: label-independent, and — for :func:`node_orbits` — exact
+    against brute-force automorphism enumeration."""
+
+    @staticmethod
+    def _blocks(part):
+        return {frozenset(block) for block in part.orbits}
+
+    def test_invariant_under_random_relabelings(self):
+        from repro.core.orbit_elect import behavior_classes, node_orbits
+
+        rng = random.Random(5)
+        for g in SHAPES:
+            for compute in (node_orbits, behavior_classes):
+                blocks = self._blocks(compute(g))
+                for _ in range(4):
+                    perm = _random_perm(g.n, rng)
+                    h = relabel_nodes(g, perm)
+                    mapped = {
+                        frozenset(perm[v] for v in block) for block in blocks
+                    }
+                    assert self._blocks(compute(h)) == mapped
+
+    def test_node_orbits_match_every_vf2_automorphism(self):
+        """On all connected <= 5-node instances: ``same_orbit(a, b)`` iff
+        some VF2-enumerated port automorphism maps ``a`` to ``b`` — the
+        partition is exactly the automorphism group's node orbits."""
+        from networkx.algorithms import isomorphism as nxiso
+
+        from repro.core.orbit_elect import node_orbits
+
+        for g in SMALL:
+            dg = _as_labeled_digraph(g)
+            matcher = nxiso.DiGraphMatcher(
+                dg,
+                dg,
+                node_match=lambda a, b: a["degree"] == b["degree"],
+                edge_match=lambda a, b: a["port"] == b["port"],
+            )
+            images = {v: set() for v in g.nodes()}
+            for mapping in matcher.isomorphisms_iter():
+                for v, w in mapping.items():
+                    images[v].add(w)
+            part = node_orbits(g)
+            for a in g.nodes():
+                for b in g.nodes():
+                    assert part.same_orbit(a, b) == (b in images[a])
+
+    def test_refines_stable_classes(self):
+        from repro.core.orbit_elect import behavior_classes, node_orbits
+
+        for g in SHAPES:
+            classes = behavior_classes(g)
+            for block in node_orbits(g).orbits:
+                assert len({classes.orbit_of[v] for v in block}) == 1
+
+
 class TestRelabelNodes:
     def test_identity(self):
         g = lollipop(4, 2)

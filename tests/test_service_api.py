@@ -70,6 +70,24 @@ class TestQuery:
             )
             assert record_to_json(result.record) == record_to_json(offline)
 
+    def test_orbit_collapsed_elect_is_byte_identical(self, tree):
+        """The default core serves ``elect`` through the orbit-collapsed
+        engine; a core with the fast path off (and the cold per-node
+        engine task itself) must produce the same record, byte for byte
+        — cache contents are independent of the flag."""
+        collapsed = ServiceCore()
+        assert collapsed.orbit_collapse
+        pernode = ServiceCore(orbit_collapse=False)
+        r1 = core_record = collapsed.query("elect", tree)
+        r2 = pernode.query("elect", tree)
+        assert not r1.cached and not r2.cached
+        assert record_to_json(r1.record) == record_to_json(r2.record)
+        offline = get_task("elect")(
+            canonical_query_name(core_record.fingerprint),
+            canonical_graph(tree),
+        )
+        assert record_to_json(r1.record) == record_to_json(offline)
+
     def test_to_canonical_translates_leader(self, core, tree):
         h = relabeled(tree, seed=8)
         result = core.query("elect", h)
@@ -292,4 +310,27 @@ def test_bench_service_scenario_quick():
     for mode in ("single", "batch"):
         assert by_name[f"warm-{mode}"]["speedup_vs_cold"] > 1
     record = make_bench_record("service", cases, quick=True)
+    validate_bench_record(record)
+
+
+def test_bench_elect_orbit_scenario_quick():
+    """The elect-orbit scenario must carry the in-run per-node
+    comparison the CI gate reads, and the vertex-transitive cases must
+    clear the gate's 3x bar (the quick cases are sized so even a noisy
+    CI box clears it with slack — full mode measures 20-40x)."""
+    from repro.analysis.bench import (
+        SCENARIOS,
+        make_bench_record,
+        validate_bench_record,
+    )
+
+    cases = SCENARIOS["elect-orbit"](True)
+    assert {c["family"] for c in cases} == {"vertex-transitive", "lifts"}
+    for case in cases:
+        assert case["orbits"] <= case["n"]
+        assert case["speedup_vs_pernode"] > 0
+        if case["family"] == "vertex-transitive":
+            assert case["orbits"] == 1
+            assert case["speedup_vs_pernode"] >= 3
+    record = make_bench_record("elect-orbit", cases, quick=True)
     validate_bench_record(record)
