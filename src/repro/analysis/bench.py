@@ -462,6 +462,99 @@ def _scenario_service(quick: bool) -> List[Case]:
     return cases
 
 
+@register_scenario("warehouse")
+def _scenario_warehouse(quick: bool) -> List[Case]:
+    """Service warm-up from past sweep output: the legacy corpus
+    re-stream (``warm_from_stores`` regenerates every graph and
+    recomputes its canonical certificate) against the warehouse join
+    (``warm_from_warehouse``: one indexed query over the content
+    addresses a warehouse-backed sweep stored as it ran).  The sweep
+    itself is untimed setup; both paths are checked to produce an
+    identical cache before either is timed, and the join case carries
+    ``speedup_vs_restream`` — the number the acceptance gate reads."""
+    import shutil
+    import tempfile
+
+    from repro.analysis.sweep import sweep_to_store
+    from repro.corpus import get_family
+    from repro.engine import open_result_store
+    from repro.service.cache import (
+        ResultCache,
+        warm_from_stores,
+        warm_from_warehouse,
+    )
+    from repro.warehouse import Warehouse, export_dataset
+
+    count = 150 if quick else 1000
+    repeats = 2 if quick else 3
+    params = dict(min_n=10, max_n=24)
+
+    def corpus():
+        return get_family("random-trees").generate(count, seed=0, **params)
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-warehouse-")
+    try:
+        wh_path = os.path.join(tmp, "results.sqlite")
+        store_path = os.path.join(tmp, "sweep.jsonl")
+        with open_result_store(wh_path, dataset="sweep") as store:
+            sweep_to_store(corpus(), "index", store)
+        with Warehouse(wh_path) as wh:
+            export_dataset(wh, "sweep", store_path)
+
+        def restream() -> ResultCache:
+            cache = ResultCache(capacity=count)
+            warmed, _skipped = warm_from_stores(
+                cache, [store_path], corpus()
+            )
+            if warmed != count:
+                raise ReproError(
+                    f"warehouse scenario: re-stream warmed {warmed}/{count}"
+                )
+            return cache
+
+        def join() -> ResultCache:
+            cache = ResultCache(capacity=count)
+            warmed = warm_from_warehouse(cache, wh_path)
+            if warmed != count:
+                raise ReproError(
+                    f"warehouse scenario: join warmed {warmed}/{count}"
+                )
+            return cache
+
+        # a fast number from a wrong path is worthless: both warmers
+        # must fill an identical cache before either is timed
+        if restream()._entries != join()._entries:
+            raise ReproError(
+                "warehouse scenario: join-warmed cache differs from "
+                "re-stream-warmed cache — refusing to time a broken path"
+            )
+
+        restream_seconds, reps = _time_case(restream, repeats)
+        join_seconds, _ = _time_case(join, repeats)
+        return [
+            {
+                "case": f"warm-restream-n{count}",
+                "seconds": restream_seconds,
+                "repeats": reps,
+                "entries": count,
+            },
+            {
+                "case": f"warm-warehouse-n{count}",
+                "seconds": join_seconds,
+                "repeats": reps,
+                "entries": count,
+                "restream_seconds": restream_seconds,
+                "speedup_vs_restream": (
+                    restream_seconds / join_seconds
+                    if join_seconds > 0
+                    else None
+                ),
+            },
+        ]
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 # ----------------------------------------------------------------------
 # records, baselines, validation
 # ----------------------------------------------------------------------
@@ -650,15 +743,25 @@ def run_bench(
     out_dir: str,
     baseline_path: Optional[str],
     progress: Callable[[str], None] = lambda _msg: None,
+    warehouse_path: Optional[str] = None,
+    label: Optional[str] = None,
 ) -> List[str]:
     """Run the named scenarios, write one validated ``BENCH_*.json`` per
-    scenario under ``out_dir``, and return the written paths."""
+    scenario under ``out_dir``, and return the written paths.
+
+    With ``warehouse_path``, the records are additionally stored in the
+    results warehouse under one ``bench`` provenance run (labeled
+    ``label``) — the rows ``repro report --trend`` renders as a
+    cross-run perf trajectory.  The BENCH files stay the wire format:
+    ``repro warehouse export --bench`` writes them back byte-identical.
+    """
     _check_known_scenarios(scenarios)
     baseline = None
     if baseline_path and os.path.exists(baseline_path):
         baseline = load_baseline(baseline_path)
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
+    records: List[Dict[str, Any]] = []
     for scenario in scenarios:
         progress(f"scenario {scenario} ({'quick' if quick else 'full'}) ...")
         cases = SCENARIOS[scenario](quick)
@@ -669,6 +772,19 @@ def run_bench(
         path = os.path.join(out_dir, f"BENCH_{scenario}.json")
         write_json(path, record)
         written.append(path)
+        records.append(record)
+    if warehouse_path is not None:
+        from repro.warehouse import Warehouse
+
+        with Warehouse(warehouse_path) as wh:
+            run_id = wh.begin_run("bench", label)
+            for record in records:
+                wh.append_bench(record, run_id)
+            wh.finish_run(run_id)
+        progress(
+            f"{len(records)} record(s) stored in {warehouse_path} "
+            f"(run {run_id})"
+        )
     return written
 
 
@@ -729,6 +845,8 @@ def run_from_args(args) -> int:
         args.out_dir,
         args.baseline,
         progress=lambda msg: print(msg, flush=True),
+        warehouse_path=getattr(args, "warehouse", None),
+        label=getattr(args, "label", None),
     )
     for path in written:
         with open(path, "r", encoding="utf-8") as fh:

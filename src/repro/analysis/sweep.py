@@ -126,9 +126,16 @@ def sweep_to_store(
     prefix invariant; with a deterministic corpus iterator the resumed
     file is byte-identical to an uninterrupted run.
 
+    Warehouse-backed stores additionally get each entry's content
+    address (``store.register_graph``): the fingerprint and canonical
+    relabeling land in the warehouse's ``graphs`` table atomically with
+    the entry's record group, so service warming later joins on an index
+    instead of re-streaming this corpus.
+
     Returns ``(ran, skipped)``: records appended and entries skipped.
     """
     skipped = 0
+    register_graph = getattr(store, "register_graph", None)
 
     def not_yet_recorded():
         nonlocal skipped
@@ -136,6 +143,8 @@ def sweep_to_store(
             if (name, task) in store:
                 skipped += 1
             else:
+                if register_graph is not None:
+                    register_graph(name, graph)
                 yield name, graph
 
     config = EngineConfig(workers=workers, chunk_size=chunk_size)

@@ -32,13 +32,20 @@ Commands
     sweep, strict, conformance) and emit canonical ``BENCH_<scenario>.json``
     records with speedups against the recorded seed baseline; ``--check``
     validates existing records (the CI schema gate).
-``report [--out FILE]``
-    Regenerate the small-scale experiment report (markdown).
+``report [--out FILE] [--trend DB]``
+    Regenerate the small-scale experiment report (markdown), or render
+    the cross-run perf trajectory from a results warehouse.
 ``serve [--port P] [--cache FILE] [--warm STORE --warm-corpus SPEC]``
     The online query service (:mod:`repro.service`): a JSON HTTP API
     answering elect/index/advice/quotient requests, deduplicated through
     the canonical-form result cache; ``--cache`` persists answers across
-    restarts and ``--warm`` pre-populates from batch result stores.
+    restarts (JSONL, or a warehouse database by extension), ``--warm``
+    pre-populates from batch result stores, and ``--warm-warehouse``
+    does the same from a results warehouse with one join query.
+``warehouse import|export|trend|register|info``
+    The indexed sqlite results warehouse (:mod:`repro.warehouse`) under
+    sweeps, conformance, the service cache and bench records; the JSONL/
+    JSON files stay the wire formats with byte-identical round-trip.
 ``query TASK SPEC [--url URL]``
     Client for scripts/CI: POST one graph to a running service and print
     the JSON answer.
@@ -336,12 +343,23 @@ def open_corpus_stream(spec: str):
     return iter(corpus), len(corpus)
 
 
+def _corpus_family_name(spec: str) -> Optional[str]:
+    """The family name of a family-spec corpus (``circulants:200,seed=3``
+    -> ``circulants``), or None — the constant ``family`` column a
+    warehouse-backed sweep tags its records with."""
+    from repro.corpus import is_family_spec, parse_family_spec
+
+    if is_family_spec(spec):
+        return parse_family_spec(spec)[0].name
+    return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis import format_table
     from repro.analysis.sweep import sweep_to_store
     from repro.engine import (
         EngineConfig,
-        ResultStore,
+        open_result_store,
         records_table,
         records_to_jsonl,
         run_stream,
@@ -361,7 +379,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.out:
         # streaming path: lazy corpus -> engine -> append-only store
-        with ResultStore(args.out, resume=args.resume) as store:
+        # (JSONL file or, by extension, a warehouse dataset)
+        with open_result_store(
+            args.out,
+            resume=args.resume,
+            dataset=args.dataset,
+            family=_corpus_family_name(args.corpus),
+        ) as store:
             ran, skipped = sweep_to_store(
                 corpus_iter,
                 args.task,
@@ -411,7 +435,12 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.analysis.sweep import sweep_to_store
     from repro.conformance import conformance_task_name
     from repro.corpus import get_family
-    from repro.engine import EngineConfig, ResultStore, load_records, run_stream
+    from repro.engine import (
+        EngineConfig,
+        load_records,
+        open_result_store,
+        run_stream,
+    )
 
     if args.resume and not args.out:
         raise ReproError("--resume requires --out FILE (the store to resume)")
@@ -429,7 +458,20 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     )
 
     if args.out:
-        with ResultStore(args.out, resume=args.resume) as store:
+        # multi-family stream: a warehouse store derives each record's
+        # family column from its entry name's family prefix
+        def family_of(name: str) -> Optional[str]:
+            for fam in families:
+                if name.startswith(fam + "-"):
+                    return fam
+            return None
+
+        with open_result_store(
+            args.out,
+            resume=args.resume,
+            dataset=args.dataset,
+            family=family_of,
+        ) as store:
             ran, skipped = sweep_to_store(
                 corpus_iter,
                 task,
@@ -529,6 +571,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         make_server,
         serve_until_shutdown,
         warm_from_stores,
+        warm_from_warehouse,
     )
 
     if args.warm and not args.warm_corpus:
@@ -554,6 +597,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(f"warm: {warmed} entries from {len(args.warm)} store(s)"
               + (f" ({skipped} records skipped)" if skipped else ""))
+    for db in args.warm_warehouse:
+        warmed = warm_from_warehouse(cache, db)
+        print(f"warm: {warmed} entries joined from warehouse {db}")
     server = make_server(core, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} "
@@ -600,15 +646,105 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import generate_report
+    if args.trend:
+        from repro.warehouse import Warehouse, render_trend
 
-    text = generate_report()
+        with Warehouse(args.trend) as wh:
+            text = render_trend(wh) + "\n"
+    else:
+        from repro.analysis.report import generate_report
+
+        text = generate_report()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"report written to {args.out}")
     else:
-        print(text)
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    from repro.warehouse import (
+        Warehouse,
+        export_bench,
+        export_dataset,
+        import_file,
+        register_corpus_graphs,
+        render_trend,
+    )
+
+    if args.warehouse_command == "import":
+        with Warehouse(args.db) as wh:
+            # a labeled import is one provenance row (one trend column),
+            # however many files it covers; unlabeled files each get
+            # their own run named after the file
+            run_id = (
+                wh.begin_run("import", args.label) if args.label else None
+            )
+            for path in args.files:
+                fmt, dataset, count = import_file(
+                    wh,
+                    path,
+                    fmt=args.format,
+                    dataset=args.dataset,
+                    run_id=run_id,
+                )
+                print(f"{path}: {count} {fmt} record(s) -> "
+                      f"dataset '{dataset}'")
+            if run_id is not None:
+                wh.finish_run(run_id)
+        return 0
+
+    if args.warehouse_command == "export":
+        with Warehouse(args.db) as wh:
+            if args.bench_dir:
+                for path in export_bench(wh, args.bench_dir, run_id=args.run):
+                    print(path)
+                return 0
+            if not (args.dataset and args.out):
+                raise ReproError(
+                    "export needs DATASET and OUT (JSONL round-trip), or "
+                    "--bench DIR for BENCH_*.json records"
+                )
+            lines = export_dataset(wh, args.dataset, args.out)
+        print(f"{lines} line(s) written to {args.out}")
+        return 0
+
+    if args.warehouse_command == "trend":
+        with Warehouse(args.db) as wh:
+            print(render_trend(wh))
+        return 0
+
+    if args.warehouse_command == "register":
+        corpus_iter, _hint = open_corpus_stream(args.corpus)
+        with Warehouse(args.db) as wh:
+            count = register_corpus_graphs(wh, args.dataset, corpus_iter)
+        print(f"{count} graph(s) registered for dataset '{args.dataset}'")
+        return 0
+
+    # info
+    from repro.analysis import format_table
+
+    with Warehouse(args.db) as wh:
+        rows = wh.datasets()
+        if rows:
+            print(format_table(["dataset", "kind", "records"], rows))
+        else:
+            print("(no datasets)")
+        runs = wh.runs()
+        print(f"\n{len(runs)} run(s), {wh.registered_graphs()} registered "
+              f"graph(s)")
+        for run in runs[-10:]:
+            label = f" '{run['label']}'" if run["label"] else ""
+            finished = (
+                f"finished {run['finished_at']}"
+                if run["finished_at"]
+                else "(unfinished)"
+            )
+            print(f"  run {run['id']}: {run['kind']}{label} "
+                  f"started {run['started_at']} {finished}")
+        print(f"integrity: {wh.integrity_check()}")
     return 0
 
 
@@ -665,13 +801,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--out", default=None,
-        help="stream records into this JSONL store instead of printing a "
-        "table (corpus entries are generated lazily; memory stays bounded)",
+        help="stream records into this store instead of printing a table "
+        "(corpus entries are generated lazily; memory stays bounded); a "
+        ".sqlite/.db extension selects the warehouse backend",
     )
     p.add_argument(
         "--resume", action="store_true",
         help="with --out: skip entries already recorded in the store, so an "
         "interrupted sweep restarts where it died",
+    )
+    p.add_argument(
+        "--dataset", default="sweep",
+        help="with a warehouse --out: the dataset to write (default: sweep)",
     )
     p.set_defaults(func=_cmd_sweep)
 
@@ -706,12 +847,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--out", default=None,
-        help="stream record groups into this JSONL store",
+        help="stream record groups into this store (JSONL, or a warehouse "
+        "database by extension)",
     )
     p.add_argument(
         "--resume", action="store_true",
         help="with --out: skip entries whose record group is already "
         "complete in the store (partial groups are re-run in full)",
+    )
+    p.add_argument(
+        "--dataset", default="conformance",
+        help="with a warehouse --out: the dataset to write "
+        "(default: conformance)",
     )
     p.set_defaults(func=_cmd_conformance)
 
@@ -762,6 +909,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", default=None, metavar="DIR",
         help="only validate the BENCH_*.json records under DIR, then exit",
     )
+    p.add_argument(
+        "--warehouse", default=None, metavar="DB",
+        help="also store the records in this results warehouse under one "
+        "labeled run (the rows `repro report --trend` charts)",
+    )
+    p.add_argument(
+        "--label", default=None,
+        help="with --warehouse: the run label shown as the trend column "
+        "header (e.g. a PR number or commit)",
+    )
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -775,8 +932,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--cache", default=None, metavar="FILE",
-        help="persist the result cache to this JSONL file (reloaded — with "
-        "torn-tail repair — on restart, so answers survive the process)",
+        help="persist the result cache to this file: JSONL (reloaded — with "
+        "torn-tail repair — on restart), or a warehouse database by "
+        ".sqlite/.db extension (indexed rows, shared with batch sweeps)",
     )
     p.add_argument(
         "--capacity", type=int, default=4096,
@@ -791,6 +949,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm-corpus", action="append", default=[], metavar="SPEC",
         help="corpus the warm stores were swept over: a family spec "
         "(circulants:200,seed=3) or @emitted.jsonl (repeatable)",
+    )
+    p.add_argument(
+        "--warm-warehouse", action="append", default=[], metavar="DB",
+        help="pre-populate from a results warehouse with one join query — "
+        "no corpus needed, the warehouse stored each entry's content "
+        "address at sweep time (repeatable)",
     )
     p.add_argument(
         "--chunk-size", type=int, default=None,
@@ -826,7 +990,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="regenerate the experiment report")
     p.add_argument("--out", default=None, help="write markdown to this file")
+    p.add_argument(
+        "--trend", default=None, metavar="DB",
+        help="render the cross-run perf trajectory from this results "
+        "warehouse instead of the experiment report",
+    )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "warehouse",
+        help="the indexed results warehouse: import/export the JSONL/JSON "
+        "wire formats, render the perf trend, inspect datasets",
+    )
+    wh_sub = p.add_subparsers(dest="warehouse_command", required=True)
+
+    pi = wh_sub.add_parser(
+        "import",
+        help="import result stores / cache files / BENCH records "
+        "(byte-identical round-trip with export)",
+    )
+    pi.add_argument("db", help="warehouse database (created if absent)")
+    pi.add_argument("files", nargs="+", help="JSONL stores, cache files, "
+                    "or BENCH_*.json records")
+    pi.add_argument(
+        "--format", default=None, choices=("store", "cache", "bench"),
+        help="file format (default: sniffed from the first line)",
+    )
+    pi.add_argument(
+        "--dataset", default=None,
+        help="target dataset (default: the file's basename; bench records "
+        "always land in 'bench')",
+    )
+    pi.add_argument("--label", default=None, help="provenance run label")
+    pi.set_defaults(func=_cmd_warehouse)
+
+    pe = wh_sub.add_parser(
+        "export", help="write a dataset back to its JSONL/JSON wire format"
+    )
+    pe.add_argument("db")
+    pe.add_argument("dataset", nargs="?", help="dataset to export")
+    pe.add_argument("out", nargs="?", help="output JSONL file")
+    pe.add_argument(
+        "--bench", dest="bench_dir", default=None, metavar="DIR",
+        help="instead: write BENCH_*.json files for one bench run",
+    )
+    pe.add_argument(
+        "--run", type=int, default=None,
+        help="with --bench: the run id (default: the latest bench run)",
+    )
+    pe.set_defaults(func=_cmd_warehouse)
+
+    pt = wh_sub.add_parser(
+        "trend", help="the cross-run bench trajectory as one table"
+    )
+    pt.add_argument("db")
+    pt.set_defaults(func=_cmd_warehouse)
+
+    pr = wh_sub.add_parser(
+        "register",
+        help="register a corpus's content addresses for a dataset swept "
+        "before the warehouse existed (one stream, then warming is a join)",
+    )
+    pr.add_argument("db")
+    pr.add_argument("dataset", help="dataset whose entry names to cover")
+    pr.add_argument("corpus", help="corpus spec the dataset was swept over")
+    pr.set_defaults(func=_cmd_warehouse)
+
+    pn = wh_sub.add_parser(
+        "info", help="datasets, runs, graph registrations, integrity check"
+    )
+    pn.add_argument("db")
+    pn.set_defaults(func=_cmd_warehouse)
 
     return parser
 

@@ -42,7 +42,13 @@ from repro.engine.records import (
     records_table,
     records_to_jsonl,
 )
-from repro.engine.store import ResultStore, StoreError, load_records, record_key
+from repro.engine.store import (
+    ResultStore,
+    StoreError,
+    load_records,
+    open_result_store,
+    record_key,
+)
 from repro.engine.stream import (
     DEFAULT_STREAM_CHUNK_SIZE,
     STREAM_WINDOW_PER_WORKER,
@@ -62,6 +68,7 @@ __all__ = [
     "ResultStore",
     "StoreError",
     "load_records",
+    "open_result_store",
     "record_key",
     "run_stream",
     "EngineConfig",

@@ -33,6 +33,14 @@ Byte-identity under resume
 Corruption beyond the torn tail (an unparsable line *followed by* more
 lines) is never repaired silently: it raises :class:`StoreError`, since
 dropping interior records would violate the prefix invariant.
+
+Backends
+    The JSONL file is one of two backends.  :func:`open_result_store`
+    dispatches on the path: a warehouse extension selects the indexed
+    sqlite backend (:mod:`repro.warehouse.store`), where resume is a key
+    query and group atomicity is transactional; the JSONL format remains
+    the import/export wire format either way (``repro warehouse
+    import|export`` round-trips it byte-identically).
 """
 
 from __future__ import annotations
@@ -78,40 +86,47 @@ class ResultStore:
 
     def _load_and_repair(self) -> None:
         """Read existing keys; truncate a torn final line (kill mid-write)
-        and a trailing unterminated record group (kill mid-entry)."""
+        and a trailing unterminated record group (kill mid-entry).
+
+        Streams the file one line at a time — resume repair is O(longest
+        line) in memory, never O(file), because stores can be far larger
+        than memory (that is why they exist)."""
         if not os.path.exists(self.path):
             return
-        with open(self.path, "rb") as fh:
-            data = fh.read()
-        valid_end = 0  # after the last parsable line
+        valid_end = 0  # after the last parsable newline-terminated line
         group_end = 0  # after the last group-terminating record
         pending: list = []  # keys of the (possibly unterminated) open group
-        lines = data.split(b"\n")
-        # everything before the final element is a newline-terminated line
-        for i, line in enumerate(lines[:-1]):
-            try:
-                record = json.loads(line.decode("utf-8"))
-                key = record_key(record)
-            except (UnicodeDecodeError, ValueError, StoreError):
-                # invalid JSON, or valid JSON that is not an engine record
-                if any(rest.strip() for rest in lines[i + 1 :]):
-                    raise StoreError(
-                        f"store file '{self.path}' is corrupt at line {i + 1}: "
-                        f"an unparsable record is followed by further records "
-                        f"(only a torn final line is repairable)"
-                    ) from None
-                break  # torn tail that happens to contain a newline
-            pending.append(key)
-            valid_end += len(line) + 1
-            if record.get("entry", record["name"]) == record["name"]:
-                # group terminator: the whole group is durable
-                self.done.update(pending)
-                pending.clear()
-                group_end = valid_end
+        with open(self.path, "rb") as fh:
+            lineno = 0
+            for line in fh:
+                lineno += 1
+                if not line.endswith(b"\n"):
+                    break  # torn tail: no terminator, nothing follows
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                    key = record_key(record)
+                except (UnicodeDecodeError, ValueError, StoreError):
+                    # invalid JSON, or valid JSON that is not an engine
+                    # record: repairable only as the final line
+                    if any(rest.strip() for rest in fh):
+                        raise StoreError(
+                            f"store file '{self.path}' is corrupt at line "
+                            f"{lineno}: an unparsable record is followed by "
+                            f"further records (only a torn final line is "
+                            f"repairable)"
+                        ) from None
+                    break  # torn tail that happens to contain a newline
+                pending.append(key)
+                valid_end += len(line)
+                if record.get("entry", record["name"]) == record["name"]:
+                    # group terminator: the whole group is durable
+                    self.done.update(pending)
+                    pending.clear()
+                    group_end = valid_end
         # anything past group_end is a torn line from a kill mid-write or
         # the sub-records of a group whose summary never made it — either
         # way a suffix the resumed sweep will regenerate in full
-        if group_end != len(data):
+        if group_end != os.path.getsize(self.path):
             with open(self.path, "r+b") as fh:
                 fh.truncate(group_end)
 
@@ -138,9 +153,46 @@ class ResultStore:
 
 
 def load_records(path: str) -> Iterator[Record]:
-    """Read a store file back lazily, one record at a time — stores can
-    be far larger than memory (that is why they exist)."""
+    """Read a store back lazily, one record at a time — stores can be
+    far larger than memory (that is why they exist).  Accepts either
+    backend: a JSONL file, or a warehouse database (any dataset's result
+    records, in append order)."""
+    from repro.warehouse.db import is_warehouse_path
+
+    if is_warehouse_path(path):
+        from repro.warehouse.db import Warehouse
+
+        with Warehouse(path) as wh:
+            for dataset, kind, _count in wh.datasets():
+                if kind == "result":
+                    yield from wh.iter_records(dataset)
+        return
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             if line.strip():
                 yield json.loads(line)
+
+
+def open_result_store(
+    path: str,
+    resume: bool = False,
+    dataset: str = "sweep",
+    family=None,
+):
+    """Open the right result-store backend for ``path``.
+
+    A warehouse extension (``.sqlite``/``.sqlite3``/``.db``/
+    ``.warehouse``) selects :class:`repro.warehouse.store.WarehouseStore`
+    (resume = a key query, groups = transactions, and corpus graphs
+    registered for join-warming); anything else is the classic JSONL
+    :class:`ResultStore`, which remains the import/export wire format.
+    ``dataset`` and ``family`` only apply to the warehouse backend.
+    """
+    from repro.warehouse.db import is_warehouse_path
+
+    if is_warehouse_path(path):
+        from repro.warehouse.store import WarehouseStore
+
+        return WarehouseStore(path, dataset=dataset, resume=resume,
+                              family=family)
+    return ResultStore(path, resume=resume)

@@ -8,11 +8,14 @@ package is the online front-end that amortizes those computations across
 clients and across past batch work:
 
 * :mod:`repro.service.cache` — the content-addressed result cache:
-  ``(fingerprint, task)`` keys over a bounded in-memory LRU plus an
-  append-only JSONL persistence tier (torn-tail repair on reopen), with
-  :func:`~repro.service.cache.warm_from_stores` joining existing sweep /
-  conformance result stores against their corpus streams so past batch
-  output pre-populates the service;
+  ``(fingerprint, task)`` keys over a bounded in-memory LRU plus a
+  durable tier — an append-only JSONL file (torn-tail repair on reopen)
+  or a :mod:`repro.warehouse` database (indexed rows, shared with the
+  batch pipelines).  :func:`~repro.service.cache.warm_from_stores`
+  joins existing sweep / conformance result stores against their corpus
+  streams so past batch output pre-populates the service;
+  :func:`~repro.service.cache.warm_from_warehouse` does the same from a
+  warehouse with one join query, no corpus re-stream;
 * :mod:`repro.service.api` — :class:`~repro.service.api.ServiceCore`,
   the transport-free pipeline (validate -> fingerprint -> cache lookup
   -> compute through the engine task registry -> record), answering in
@@ -30,10 +33,12 @@ port-isomorphic graphs.  CLI entry points: ``repro serve`` and
 
 from repro.service.api import SERVICE_TASKS, QueryResult, ServiceCore
 from repro.service.cache import (
+    SERVICE_CACHE_DATASET,
     WARMABLE_TASKS,
     ResultCache,
     canonical_query_name,
     warm_from_stores,
+    warm_from_warehouse,
 )
 from repro.service.server import (
     ServiceHTTPServer,
@@ -42,6 +47,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "SERVICE_CACHE_DATASET",
     "SERVICE_TASKS",
     "WARMABLE_TASKS",
     "QueryResult",
@@ -49,6 +55,7 @@ __all__ = [
     "ResultCache",
     "canonical_query_name",
     "warm_from_stores",
+    "warm_from_warehouse",
     "ServiceHTTPServer",
     "make_server",
     "serve_until_shutdown",

@@ -137,19 +137,41 @@ class ServiceCore:
     # metrics
     # ------------------------------------------------------------------
     def _task_stats(self, task: str) -> Dict[str, float]:
+        # hits = memory_hits + warehouse_hits + file_hits (which cache
+        # tier answered); misses are cold computes
         return self._stats.setdefault(
-            task, {"hits": 0, "misses": 0, "errors": 0, "latency_s": 0.0}
+            task,
+            {
+                "hits": 0,
+                "memory_hits": 0,
+                "warehouse_hits": 0,
+                "file_hits": 0,
+                "misses": 0,
+                "errors": 0,
+                "latency_s": 0.0,
+            },
         )
 
-    def _count(self, task: str, outcome: str, latency_s: float = 0.0) -> None:
+    def _count(
+        self,
+        task: str,
+        outcome: str,
+        latency_s: float = 0.0,
+        tier: Optional[str] = None,
+    ) -> None:
         with self._lock:
             stats = self._task_stats(task)
             stats[outcome] += 1
+            if tier is not None:
+                stats[f"{tier}_hits"] += 1
             stats["latency_s"] += latency_s
 
     def metrics(self) -> Dict[str, Any]:
         """Hit/miss/error/latency counters, total and per task, plus the
-        cache tier sizes — the ``GET /metrics`` body."""
+        cache tier sizes — the ``GET /metrics`` body.  ``hits`` split by
+        answering tier: ``memory_hits`` (the LRU), ``warehouse_hits``
+        (one indexed row read), ``file_hits`` (one JSONL offset read);
+        ``misses`` are cold computes."""
         with self._lock:
             tasks = {name: dict(stats) for name, stats in self._stats.items()}
             cache = {
@@ -158,19 +180,20 @@ class ServiceCore:
                 "persisted_entries": self.cache.persisted,
                 "path": self.cache.path,
             }
+        counter_keys = (
+            "hits", "memory_hits", "warehouse_hits", "file_hits",
+            "misses", "errors",
+        )
         totals = {
             key: sum(stats[key] for stats in tasks.values())
-            for key in ("hits", "misses", "errors", "latency_s")
+            for key in counter_keys + ("latency_s",)
         }
-        return {
-            "uptime_s": time.monotonic() - self._started,
-            "hits": int(totals["hits"]),
-            "misses": int(totals["misses"]),
-            "errors": int(totals["errors"]),
-            "latency_s": totals["latency_s"],
-            "tasks": tasks,
-            "cache": cache,
-        }
+        out: Dict[str, Any] = {"uptime_s": time.monotonic() - self._started}
+        out.update({key: int(totals[key]) for key in counter_keys})
+        out["latency_s"] = totals["latency_s"]
+        out["tasks"] = tasks
+        out["cache"] = cache
+        return out
 
     # ------------------------------------------------------------------
     # the query path
@@ -182,9 +205,9 @@ class ServiceCore:
                 f"{', '.join(self.tasks)}"
             )
 
-    def _lookup(self, key: CacheKey) -> Optional[Record]:
+    def _lookup(self, key: CacheKey) -> Tuple[Optional[Record], Optional[str]]:
         with self._lock:
-            return self.cache.get(key)
+            return self.cache.lookup(key)
 
     def _insert(self, key: CacheKey, record: Record) -> None:
         with self._lock:
@@ -232,7 +255,7 @@ class ServiceCore:
         t0 = time.perf_counter()
         form = canonical_form(graph)
         key = (form.fingerprint, task)
-        record = self._lookup(key)
+        record, tier = self._lookup(key)
         cached = record is not None
         if not cached:
             try:
@@ -241,7 +264,12 @@ class ServiceCore:
                 self._count(task, "errors", time.perf_counter() - t0)
                 raise
             self._insert(key, record)
-        self._count(task, "hits" if cached else "misses", time.perf_counter() - t0)
+        self._count(
+            task,
+            "hits" if cached else "misses",
+            time.perf_counter() - t0,
+            tier=tier,
+        )
         return QueryResult(
             task=task,
             fingerprint=form.fingerprint,
@@ -261,15 +289,17 @@ class ServiceCore:
         order.  A task failure inside the fan-out fails the whole batch
         (the engine's error carries the failing canonical name)."""
         t0 = time.perf_counter()
-        items: List[Tuple[str, CanonicalForm, CacheKey, Optional[Record]]] = []
+        items: List[
+            Tuple[str, CanonicalForm, CacheKey, Optional[Record], Optional[str]]
+        ] = []
         to_compute: Dict[str, Dict[str, PortGraph]] = {}  # task -> name->graph
         key_of_name: Dict[Tuple[str, str], CacheKey] = {}
         for task, graph in requests:
             self._check_task(task)
             form = canonical_form(graph)
             key = (form.fingerprint, task)
-            hit = self._lookup(key)
-            items.append((task, form, key, hit))
+            hit, tier = self._lookup(key)
+            items.append((task, form, key, hit, tier))
             if hit is None:
                 name = canonical_query_name(form.fingerprint)
                 if name not in to_compute.setdefault(task, {}):
@@ -302,9 +332,9 @@ class ServiceCore:
             # every request), but the counters must still account for
             # every item: hits stay hits, records that did get computed
             # (and cached) are misses, everything else is an error
-            for task, _form, key, hit in items:
+            for task, _form, key, hit, tier in items:
                 if hit is not None:
-                    self._count(task, "hits")
+                    self._count(task, "hits", tier=tier)
                 elif key in computed:
                     self._count(task, "misses")
                 else:
@@ -313,10 +343,12 @@ class ServiceCore:
 
         results: List[QueryResult] = []
         latency_each = (time.perf_counter() - t0) / max(1, len(items))
-        for task, form, key, hit in items:
+        for task, form, key, hit, tier in items:
             cached = hit is not None
             record = hit if cached else computed[key]
-            self._count(task, "hits" if cached else "misses", latency_each)
+            self._count(
+                task, "hits" if cached else "misses", latency_each, tier=tier
+            )
             results.append(
                 QueryResult(
                     task=task,

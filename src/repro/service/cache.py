@@ -9,18 +9,33 @@ Keys
 
 Tiers
     A bounded in-memory LRU (the hot tier the request path touches) over
-    an optional append-only JSONL file (the durable tier).  The file
-    reuses the :mod:`repro.engine.store` discipline: one canonical JSON
-    line per entry, flushed per append, and on reopen a *torn final line*
-    (a kill mid-write) is repaired by truncation while corruption
-    followed by further lines raises :class:`ServiceError` — interior
-    entries are never dropped silently.  The file is never evicted from,
-    and the load replays it streaming (O(line) memory) while recording a
-    ``key -> byte offset`` index; a lookup that misses the LRU re-reads
-    the entry from its offset and promotes it, so a restart with
-    ``--cache`` serves **every** previously computed answer no matter
-    how small the memory tier — an LRU eviction only ever costs one
-    line-sized file read, never a recompute.
+    an optional durable tier.  The durable tier has two backends,
+    selected by the path's extension:
+
+    * a **warehouse database** (``.sqlite``/``.db``/...; see
+      :mod:`repro.warehouse`): entries are rows of the shared ``records``
+      table, unique and indexed on ``(fingerprint, task)``, so an LRU
+      eviction re-reads one indexed row — and the same warehouse is the
+      *shared warm tier*: sweeps writing to it make their results
+      join-warmable without any corpus re-stream
+      (:func:`warm_from_warehouse`);
+    * an **append-only JSONL file** (anything else), kept as the
+      import/export wire format.  It reuses the
+      :mod:`repro.engine.store` discipline: one canonical JSON line per
+      entry, flushed per append, and on reopen a *torn final line* (a
+      kill mid-write) is repaired by truncation while corruption
+      followed by further lines raises :class:`ServiceError` — interior
+      entries are never dropped silently.  The file is never evicted
+      from, and the load replays it streaming (O(line) memory) while
+      recording a ``key -> byte offset`` index.
+
+    Either way, a lookup that misses the LRU falls back to the durable
+    tier and promotes the entry, so a restart with ``--cache`` serves
+    **every** previously computed answer no matter how small the memory
+    tier — an LRU eviction only ever costs one indexed read, never a
+    recompute.  :meth:`ResultCache.lookup` reports which tier answered,
+    which is what the service's ``/metrics`` memory-hit /
+    warehouse-hit / cold-compute counters are built on.
 
 Warming
     :func:`warm_from_stores` joins existing sweep/conformance
@@ -28,6 +43,10 @@ Warming
     *name*) against corpus streams that supply the graphs for those
     names, fingerprints each graph, and inserts the records under their
     content address — so past batch work pre-populates the service.
+    :func:`warm_from_warehouse` is the indexed successor: when sweeps
+    ran on the warehouse backend their graphs' content addresses are
+    already stored, so warming is one join query — no corpus re-stream,
+    no certificate recomputation.
     Stored records were computed on the corpus labeling; the service
     computes on the *canonical* labeling, so warming canonicalizes each
     record: the ``name`` becomes the canonical query name and, for
@@ -61,6 +80,11 @@ WARMABLE_TASKS = ("advice", "elect", "index", "quotient")
 
 DEFAULT_CAPACITY = 4096
 
+#: The warehouse dataset service cache entries live in.  Imports of
+#: legacy cache JSONL files must target this dataset for the service to
+#: see them (``repro warehouse import --dataset service-cache``).
+SERVICE_CACHE_DATASET = "service-cache"
+
 
 def canonical_query_name(fingerprint: str) -> str:
     """The ``name`` field of service-computed records: derived from the
@@ -70,28 +94,50 @@ def canonical_query_name(fingerprint: str) -> str:
 
 
 class ResultCache:
-    """Bounded LRU over an optional append-only JSONL persistence tier.
+    """Bounded LRU over an optional durable tier (warehouse or JSONL).
 
     ``capacity`` bounds the *memory* tier only (0 disables it — every
-    lookup misses, which is what the cold benches use); the file keeps
-    every entry ever inserted.  Use as a context manager, or ``close()``
-    explicitly when persistent.
+    lookup misses, which is what the cold benches use); the durable tier
+    keeps every entry ever inserted.  A warehouse-extension ``path``
+    selects the indexed sqlite backend (entries in ``dataset``), any
+    other path the append-only JSONL file.  Use as a context manager, or
+    ``close()`` explicitly when persistent.
     """
 
     def __init__(
-        self, path: Optional[str] = None, capacity: int = DEFAULT_CAPACITY
+        self,
+        path: Optional[str] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        dataset: str = SERVICE_CACHE_DATASET,
     ):
         if capacity < 0:
             raise ServiceError(f"capacity must be >= 0, got {capacity}")
         self.path = path
         self.capacity = capacity
+        self.dataset = dataset
         self._entries: "OrderedDict[CacheKey, Record]" = OrderedDict()
-        #: durable tier index: key -> byte offset of its JSONL line
+        #: JSONL durable tier index: key -> byte offset of its line
         self._offsets: Dict[CacheKey, int] = {}
         self._fh = None
         self._read_fh = None
         self._append_end = 0  # byte offset of the next appended line
-        if path is not None:
+        self._warehouse = None
+        self._run_id = None
+        self._closed_persisted = None
+        if path is None:
+            return
+        # deferred import: repro.warehouse's io module imports this one
+        from repro.warehouse.db import Warehouse, is_warehouse_path
+
+        if is_warehouse_path(path):
+            self._warehouse = Warehouse(path)
+            self._run_id = self._warehouse.begin_run("service", dataset)
+            for line in self._warehouse.recent_cache_entries(
+                dataset, capacity
+            ):
+                key, record = self._entry_key(json.loads(line))
+                self._remember(key, record)
+        else:
             self._load_and_repair(path)
             # newline="" disables os.linesep translation: the offset
             # index counts "\n" as one byte, so the bytes on disk must
@@ -177,27 +223,54 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
-    def get(self, key: CacheKey) -> Optional[Record]:
-        """The cached record, or None.  A memory hit refreshes LRU
-        recency; a memory miss falls back to the durable tier's offset
-        index (an eviction costs one line-sized file read, never a
-        recompute) and promotes the entry back into the LRU."""
+    def lookup(self, key: CacheKey) -> Tuple[Optional[Record], Optional[str]]:
+        """The cached record and the tier that answered: ``"memory"``,
+        ``"warehouse"`` (one indexed row read), ``"file"`` (one
+        line-sized read at the JSONL offset index), or ``(None, None)``.
+        A memory hit refreshes LRU recency; a durable-tier hit promotes
+        the entry back into the LRU — an eviction never costs a
+        recompute.  The tier is what the service's ``/metrics``
+        memory-hit / warehouse-hit counters report."""
         record = self._entries.get(key)
         if record is not None:
             self._entries.move_to_end(key)
-            return record
-        if self._read_fh is not None and key in self._offsets:
+            return record, "memory"
+        if self._warehouse is not None:
+            line = self._warehouse.get_cache_entry(self.dataset, *key)
+            if line is not None:
+                _key, record = self._entry_key(json.loads(line))
+                self._remember(key, record)
+                return record, "warehouse"
+        elif self._read_fh is not None and key in self._offsets:
             record = self._read_persisted(key)
             self._remember(key, record)
-            return record
-        return None
+            return record, "file"
+        return None, None
+
+    def get(self, key: CacheKey) -> Optional[Record]:
+        """The cached record from any tier, or None (see :meth:`lookup`)."""
+        return self.lookup(key)[0]
 
     def put(self, key: CacheKey, record: Record) -> None:
-        """Insert (idempotently): the memory tier refreshes, the file
-        tier appends one canonical line per *new* key and flushes."""
+        """Insert (idempotently): the memory tier refreshes; the durable
+        tier gains one canonical envelope per *new* key — an appended,
+        flushed JSONL line, or a committed warehouse row (the
+        ``(fingerprint, task)`` unique index makes re-puts no-ops)."""
         self._remember(key, record)
-        if self._fh is not None and key not in self._offsets:
-            fingerprint, task = key
+        fingerprint, task = key
+        if self._warehouse is not None:
+            self._warehouse.put_cache_entry(
+                self.dataset,
+                fingerprint,
+                task,
+                str(record.get("name", canonical_query_name(fingerprint))),
+                record_to_json(
+                    {"fingerprint": fingerprint, "task": task,
+                     "record": record}
+                ),
+                run_id=self._run_id,
+            )
+        elif self._fh is not None and key not in self._offsets:
             line = record_to_json(
                 {"fingerprint": fingerprint, "task": task, "record": record}
             ) + "\n"
@@ -208,7 +281,13 @@ class ResultCache:
             self._offsets[key] = offset
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries or key in self._offsets
+        if key in self._entries or key in self._offsets:
+            return True
+        return (
+            self._warehouse is not None
+            and self._warehouse.get_cache_entry(self.dataset, *key)
+            is not None
+        )
 
     def __len__(self) -> int:
         """Entries resident in the memory tier."""
@@ -216,7 +295,11 @@ class ResultCache:
 
     @property
     def persisted(self) -> int:
-        """Entries durable in the file tier (0 when memory-only)."""
+        """Entries in the durable tier (0 when memory-only)."""
+        if self._warehouse is not None:
+            return self._warehouse.cache_size(self.dataset)
+        if self._closed_persisted is not None:
+            return self._closed_persisted
         return len(self._offsets)
 
     def close(self) -> None:
@@ -226,6 +309,15 @@ class ResultCache:
         if self._read_fh is not None:
             self._read_fh.close()
             self._read_fh = None
+        if self._warehouse is not None:
+            # keep the count readable after close ("N entries persisted"
+            # is printed on service shutdown, after the cache is closed)
+            self._closed_persisted = self._warehouse.cache_size(
+                self.dataset
+            )
+            self._warehouse.finish_run(self._run_id)
+            self._warehouse.close()
+            self._warehouse = None
 
     def __enter__(self) -> "ResultCache":
         return self
@@ -238,17 +330,18 @@ class ResultCache:
 # warming from batch stores
 # ----------------------------------------------------------------------
 def canonicalize_record(
-    record: Record, task: str, form, fingerprint: str
+    record: Record, task: str, to_canonical: Sequence[int], fingerprint: str
 ) -> Record:
     """Rewrite a store record into the exact record a service compute on
     the canonical graph would produce: canonical ``name``, and the one
-    label-dependent field (``elect``'s leader) mapped through the
-    canonical relabeling.  ``form`` is the store graph's
-    :class:`~repro.graphs.canonical.CanonicalForm`."""
+    label-dependent field (``elect``'s leader) mapped through
+    ``to_canonical`` — the store graph's canonical relabeling, whether
+    freshly computed (:func:`warm_from_stores`) or read back from the
+    warehouse's ``graphs`` table (:func:`warm_from_warehouse`)."""
     out = dict(record)
     out["name"] = canonical_query_name(fingerprint)
     if task == "elect" and isinstance(out.get("leader"), int):
-        out["leader"] = form.to_canonical[out["leader"]]
+        out["leader"] = to_canonical[out["leader"]]
     return out
 
 
@@ -293,10 +386,49 @@ def warm_from_stores(
         for task, record in records.items():
             cache.put(
                 (form.fingerprint, task),
-                canonicalize_record(record, task, form, form.fingerprint),
+                canonicalize_record(
+                    record, task, form.to_canonical, form.fingerprint
+                ),
             )
             warmed += 1
         if not by_name:
             break  # every store record matched; stop paying the stream
     skipped += sum(len(records) for records in by_name.values())
     return warmed, skipped
+
+
+def warm_from_warehouse(
+    cache: ResultCache,
+    warehouse,
+    tasks: Sequence[str] = WARMABLE_TASKS,
+) -> int:
+    """Pre-populate ``cache`` from a warehouse's result datasets: one
+    join query over the ``records`` and ``graphs`` tables
+    (:meth:`~repro.warehouse.db.Warehouse.warm_join`) instead of
+    :func:`warm_from_stores`'s corpus re-stream — no graph is generated
+    and no canonical certificate recomputed, because warehouse-backed
+    sweeps stored each entry's content address as they ran.
+
+    ``warehouse`` is an open :class:`~repro.warehouse.db.Warehouse` or a
+    path to one; it may be the same database backing ``cache`` (the
+    shared warm tier) or a different one.  Returns the number of entries
+    inserted.  Entries whose corpus graph was never registered are
+    simply absent from the join — register them once with
+    :func:`repro.warehouse.io.register_corpus_graphs`.
+    """
+    from repro.warehouse.db import Warehouse
+
+    owned = not isinstance(warehouse, Warehouse)
+    wh = Warehouse(warehouse) if owned else warehouse
+    try:
+        warmed = 0
+        for task, fingerprint, to_canonical, record in wh.warm_join(tasks):
+            cache.put(
+                (fingerprint, task),
+                canonicalize_record(record, task, to_canonical, fingerprint),
+            )
+            warmed += 1
+        return warmed
+    finally:
+        if owned:
+            wh.close()

@@ -1,0 +1,92 @@
+"""The cross-run perf trajectory: bench records rendered as one table.
+
+Every ``repro bench --warehouse DB`` invocation (and every imported
+``BENCH_*.json``) lands its records under a run row with a label, an
+environment fingerprint and a timestamp.  ``trend_table`` pivots those
+rows into the table ``repro report --trend`` / ``repro warehouse trend``
+print: one row per ``(scenario, case)``, one column per run, each cell
+the measured seconds — so "did PR N make the strict path faster" is a
+column scan, not archaeology across artifact tarballs.
+
+Runs of different modes (quick vs full) measure different workloads, so
+each run column is suffixed with its mode; comparisons are meaningful
+within a column's mode.  Table-kind records (the historical prose-bench
+twins) carry no timing and are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import StoreError
+from repro.warehouse.db import Warehouse
+
+
+def trend_data(
+    wh: Warehouse,
+) -> Tuple[List[Dict[str, Any]], Dict[Tuple[str, str], Dict[int, float]]]:
+    """``(runs, cells)``: the bench-bearing runs in id order, and
+    ``(scenario, case) -> {run_id: seconds}``."""
+    runs_by_id = {run["id"]: run for run in wh.runs()}
+    seen_runs: List[Dict[str, Any]] = []
+    cells: Dict[Tuple[str, str], Dict[int, float]] = {}
+    for run_id, scenario, record in wh.bench_rows():
+        if record.get("kind") != "timing":
+            continue
+        run = runs_by_id.get(run_id)
+        if run is None:  # pragma: no cover - references are enforced
+            continue
+        if not any(r["id"] == run_id for r in seen_runs):
+            run = dict(run)
+            run["mode"] = "quick" if record.get("quick") else "full"
+            seen_runs.append(run)
+        for case in record.get("cases", []):
+            seconds = case.get("seconds")
+            if isinstance(seconds, (int, float)):
+                cells.setdefault((scenario, case["case"]), {})[
+                    run_id
+                ] = float(seconds)
+    return seen_runs, cells
+
+
+def _run_header(run: Dict[str, Any]) -> str:
+    label = run["label"] or f"run{run['id']}"
+    return f"{label}/{run.get('mode', '?')}"
+
+
+def trend_table(wh: Warehouse) -> Tuple[List[str], List[Tuple]]:
+    """``(columns, rows)`` for :func:`repro.analysis.tables.format_table`;
+    raises :class:`StoreError` when the warehouse holds no timed bench
+    records (nothing to chart is an error, not an empty table)."""
+    runs, cells = trend_data(wh)
+    if not cells:
+        raise StoreError(
+            "warehouse holds no timed bench records; record some with "
+            "`repro bench --warehouse DB` or import BENCH_*.json files"
+        )
+    columns = ["scenario", "case"] + [_run_header(run) for run in runs]
+    rows: List[Tuple] = []
+    for (scenario, case), by_run in sorted(cells.items()):
+        row = [scenario, case]
+        for run in runs:
+            seconds = by_run.get(run["id"])
+            row.append(f"{seconds:.4f}" if seconds is not None else "-")
+        rows.append(tuple(row))
+    return columns, rows
+
+
+def render_trend(wh: Warehouse) -> str:
+    """The formatted trend table plus a run legend (one line per run:
+    header, timestamp, host fingerprint) — what the CLI prints."""
+    from repro.analysis.tables import format_table
+
+    runs, _cells = trend_data(wh)
+    columns, rows = trend_table(wh)
+    legend = "\n".join(
+        f"  {_run_header(run)}: {run['started_at']}  "
+        f"(python {run['env'].get('python')}, "
+        f"{run['env'].get('machine')}, "
+        f"cpu_count={run['env'].get('cpu_count')})"
+        for run in runs
+    )
+    return format_table(columns, rows) + "\n\nruns:\n" + legend
