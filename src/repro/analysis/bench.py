@@ -462,6 +462,160 @@ def _scenario_service(quick: bool) -> List[Case]:
     return cases
 
 
+@register_scenario("service-load")
+def _scenario_service_load(quick: bool) -> List[Case]:
+    """The service under concurrent clients: distinct feasible graphs,
+    each queried once, driven by 1/8/64 client threads against the
+    in-process core (every cold compute serialized on the compute lock)
+    and the fingerprint-sharded core (one worker process per shard).
+    Cold cases measure compute throughput, warm cases the lookup path.
+    Each case carries wall-clock ``seconds``, ``qps`` and per-query
+    ``p50_ms``/``p99_ms``; sharded cold cases carry
+    ``speedup_vs_inproc`` against the in-process case at the same
+    concurrency — the number the CI gate reads (the sharded speedup only
+    materializes on a multi-core box; a 1-CPU container measures ~1x).
+
+    Before any timing, both compute modes answer the full query set
+    sequentially and the response payloads are compared byte for byte —
+    the harness refuses to time a broken path."""
+    import threading
+
+    from repro.corpus import get_family
+    from repro.engine.engine import available_parallelism
+    from repro.service.api import ServiceCore
+    from repro.service.cache import ResultCache
+    from repro.views.refinement import stable_partition
+
+    if quick:
+        num_graphs, repeats = 16, 1
+        concurrencies: Tuple[int, ...] = (1, 8)
+        params = dict(min_n=14, max_n=28)
+    else:
+        num_graphs, repeats = 64, 2
+        concurrencies = (1, 8, 64)
+        params = dict(min_n=30, max_n=60)
+    shards = max(2, min(4, available_parallelism()))
+
+    graphs = []
+    for _name, g in get_family("random-trees").generate(
+        num_graphs * 4, seed=11, **params
+    ):
+        if stable_partition(g).discrete:  # feasible: elect completes
+            graphs.append(g)
+            if len(graphs) == num_graphs:
+                break
+
+    def fresh_payloads() -> None:
+        # a real client ships a fresh payload per request: drop the
+        # derived caches so every timed query pays its canonicalization
+        for g in graphs:
+            g._csr_cache = None
+            g._canon_cache = None
+
+    def run_clients(core: ServiceCore, clients: int) -> Tuple[float, List[float]]:
+        """One sweep: every graph queried once, the work pre-partitioned
+        round-robin across ``clients`` threads (a shared-iterator pop is
+        not thread-safe; the partition is deterministic and balanced).
+        Returns (wall seconds, per-query latencies)."""
+        latencies = [0.0] * len(graphs)
+        failures: List[BaseException] = []
+
+        def client(start: int) -> None:
+            try:
+                for i in range(start, len(graphs), clients):
+                    q0 = time.perf_counter()
+                    core.query("elect", graphs[i])
+                    latencies[i] = time.perf_counter() - q0
+            except ReproError as exc:  # pragma: no cover - fails the case
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        if failures:  # pragma: no cover - deterministic feasible corpus
+            raise failures[0]
+        return wall, latencies
+
+    def percentile_ms(latencies: List[float], q: float) -> float:
+        ordered = sorted(latencies)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return 1000.0 * ordered[index]
+
+    def payload_bytes(core: ServiceCore) -> List[str]:
+        fresh_payloads()
+        return [
+            json.dumps(core.query("elect", g).payload(), sort_keys=True)
+            for g in graphs
+        ]
+
+    inproc_cold = ServiceCore(ResultCache(capacity=0))
+    shard_cold = ServiceCore(ResultCache(capacity=0), shards=shards)
+    cores = [inproc_cold, shard_cold]
+    try:
+        # refuse to time a broken path: the sharded answers must be
+        # byte-identical to the in-process ones before any clock starts
+        if payload_bytes(inproc_cold) != payload_bytes(shard_cold):
+            raise ReproError(
+                "service-load: sharded responses are not byte-identical "
+                "to the in-process path; refusing to time a broken path"
+            )
+
+        def warm_core(n_shards: int) -> ServiceCore:
+            core = ServiceCore(ResultCache(), shards=n_shards)
+            cores.append(core)
+            for g in graphs:
+                core.query("elect", g)
+            return core
+
+        modes = (
+            ("inproc", 0, inproc_cold, warm_core(0)),
+            ("shard", shards, shard_cold, warm_core(shards)),
+        )
+        cases: List[Case] = []
+        inproc_seconds: Dict[Tuple[str, int], float] = {}
+        for temp_index, temp in enumerate(("cold", "warm")):
+            for mode, n_shards, cold, warm in modes:
+                core = (cold, warm)[temp_index]
+                for clients in concurrencies:
+                    best: Optional[Tuple[float, List[float]]] = None
+                    for _ in range(repeats):
+                        fresh_payloads()
+                        result = run_clients(core, clients)
+                        if best is None or result[0] < best[0]:
+                            best = result
+                    assert best is not None
+                    wall, latencies = best
+                    case: Case = {
+                        "case": f"{temp}-{mode}-c{clients}",
+                        "seconds": wall,
+                        "repeats": repeats,
+                        "clients": clients,
+                        "queries": len(graphs),
+                        "shards": n_shards,
+                        "qps": len(graphs) / wall if wall > 0 else 0.0,
+                        "p50_ms": percentile_ms(latencies, 0.50),
+                        "p99_ms": percentile_ms(latencies, 0.99),
+                    }
+                    if mode == "inproc":
+                        inproc_seconds[(temp, clients)] = wall
+                    elif wall > 0:
+                        case["speedup_vs_inproc"] = (
+                            inproc_seconds[(temp, clients)] / wall
+                        )
+                    cases.append(case)
+        return cases
+    finally:
+        for core in cores:
+            core.close()
+
+
 @register_scenario("warehouse")
 def _scenario_warehouse(quick: bool) -> List[Case]:
     """Service warm-up from past sweep output: the legacy corpus

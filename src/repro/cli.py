@@ -35,13 +35,15 @@ Commands
 ``report [--out FILE] [--trend DB]``
     Regenerate the small-scale experiment report (markdown), or render
     the cross-run perf trajectory from a results warehouse.
-``serve [--port P] [--cache FILE] [--warm STORE --warm-corpus SPEC]``
+``serve [--port P] [--shards N] [--cache FILE] [--warm STORE --warm-corpus SPEC]``
     The online query service (:mod:`repro.service`): a JSON HTTP API
     answering elect/index/advice/quotient requests, deduplicated through
-    the canonical-form result cache; ``--cache`` persists answers across
-    restarts (JSONL, or a warehouse database by extension), ``--warm``
-    pre-populates from batch result stores, and ``--warm-warehouse``
-    does the same from a results warehouse with one join query.
+    the canonical-form result cache; ``--shards N`` fans cold computes
+    across N fingerprint-routed worker processes (the cache stays
+    shared), ``--cache`` persists answers across restarts (JSONL, or a
+    warehouse database by extension), ``--warm`` pre-populates from
+    batch result stores, and ``--warm-warehouse`` does the same from a
+    results warehouse with one join query.
 ``warehouse import|export|trend|register|info``
     The indexed sqlite results warehouse (:mod:`repro.warehouse`) under
     sweeps, conformance, the service cache and bench records; the JSONL/
@@ -585,8 +587,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--warm-corpus has no effect without --warm STORE (the result "
             "store holding the records to pre-populate from)"
         )
+    if args.shards < 0:
+        raise ReproError(f"--shards must be >= 0, got {args.shards}")
     cache = ResultCache(path=args.cache, capacity=args.capacity)
-    core = ServiceCore(cache, batch_chunk_size=args.chunk_size)
+    core = ServiceCore(
+        cache, batch_chunk_size=args.chunk_size, shards=args.shards
+    )
     if cache.persisted:
         print(f"cache: {cache.persisted} persisted entries loaded from "
               f"{args.cache}")
@@ -602,8 +608,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"warm: {warmed} entries joined from warehouse {db}")
     server = make_server(core, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    shard_note = (
+        f"{args.shards} shard workers" if args.shards else "in-process compute"
+    )
     print(f"serving on http://{host}:{port} "
-          f"(tasks: {', '.join(core.tasks)}; Ctrl-C to stop)", flush=True)
+          f"(tasks: {', '.join(core.tasks)}; {shard_note}; Ctrl-C to stop)",
+          flush=True)
     serve_until_shutdown(server, install_signal_handlers=True)
     if args.cache:
         print(f"cache: {cache.persisted} entries persisted to {args.cache}")
@@ -959,6 +969,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--chunk-size", type=int, default=None,
         help="corpus entries per engine chunk on the /v1/batch path",
+    )
+    p.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="fingerprint-sharded compute worker processes: cold queries "
+        "route to int(fingerprint[:16], 16) %% N, each worker owning its "
+        "own view-cache universe while the result cache (and any warm "
+        "tier) stays shared in the serving process; 0 computes in-process",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -23,7 +23,14 @@ clients and across past batch work:
   answers, plus the ``run_stream``-chunked batch path;
 * :mod:`repro.service.server` — the stdlib ``ThreadingHTTPServer`` JSON
   API (``POST /v1/elect|index|advice|quotient``, ``POST /v1/batch``,
-  ``GET /healthz``, ``GET /metrics``).
+  ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.service.shard` — the fingerprint-sharded compute pool:
+  ``ServiceCore(shards=N)`` routes each cold compute to
+  ``int(fingerprint[:16], 16) % N``, one forked worker process per
+  shard, each with its own view-cache universe, while the parent keeps
+  the one shared result cache (the warehouse as the warm tier).  Warm
+  hits and cold computes both scale across cores; in-flight per-key
+  deduplication stops thundering-herd recomputes either way.
 
 The fingerprint underneath is :func:`repro.graphs.canonical.
 graph_fingerprint`: sha256 of a certificate equal exactly for
@@ -45,6 +52,7 @@ from repro.service.server import (
     make_server,
     serve_until_shutdown,
 )
+from repro.service.shard import ShardPool, shard_of
 
 __all__ = [
     "SERVICE_CACHE_DATASET",
@@ -59,4 +67,6 @@ __all__ = [
     "ServiceHTTPServer",
     "make_server",
     "serve_until_shutdown",
+    "ShardPool",
+    "shard_of",
 ]

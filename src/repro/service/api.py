@@ -37,7 +37,28 @@ Batching
     from the cache, deduplicating the misses by ``(fingerprint, task)``,
     and fanning each task's residual graphs through the engine's
     streaming path (:func:`repro.engine.run_stream`) in chunks — the
-    same execution discipline as a ``repro sweep``.
+    same execution discipline as a ``repro sweep``.  In sharded mode the
+    unique misses fan out across the shard pool instead, grouped by
+    route.
+
+Sharding
+    ``ServiceCore(shards=N)`` with ``N >= 1`` dispatches cold computes
+    to a :class:`~repro.service.shard.ShardPool` of worker processes
+    routed by fingerprint — each worker owns its own view-cache
+    universe, so computes on different shards run truly in parallel
+    while the parent keeps the one shared result cache (LRU + warehouse
+    / JSONL warm tier).  ``shards=0`` (the default) keeps today's
+    in-process compute path byte-identical.
+
+In-flight deduplication
+    Concurrent cold queries for the same ``(fingerprint, task)`` would
+    each pay a full compute (N threads, N identical records — the
+    thundering herd sharding would multiply).  The query path registers
+    a per-key in-flight entry: the first caller (the *leader*) computes;
+    every concurrent caller joining before the record lands waits on the
+    leader and gets the byte-identical record, counted as an
+    ``inflight_hits`` hit tier.  A leader failure propagates the same
+    error to every waiter.
 """
 
 from __future__ import annotations
@@ -54,10 +75,32 @@ from repro.errors import ReproError, ServiceError
 from repro.graphs.canonical import CanonicalForm, canonical_form
 from repro.graphs.port_graph import PortGraph
 from repro.service.cache import CacheKey, ResultCache, canonical_query_name
+from repro.service.shard import ShardPool
 
 #: The tasks the service exposes (one ``POST /v1/<task>`` route each).
 #: All are single-record engine tasks, so one query maps to one record.
 SERVICE_TASKS = ("advice", "elect", "index", "quotient")
+
+
+class _Inflight:
+    """One in-progress compute other callers can wait on: the leader
+    resolves it with the record (or the error) after the cache insert,
+    so a late joiner either finds this entry or finds the cache entry —
+    never a gap that would elect a second leader."""
+
+    __slots__ = ("event", "record", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.record: Optional[Record] = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> Record:
+        self.event.wait()
+        if self.error is not None:
+            raise self.error
+        assert self.record is not None
+        return self.record
 
 
 @dataclass(frozen=True)
@@ -111,6 +154,10 @@ class ServiceCore:
     through the orbit-collapsed engine (:mod:`repro.core.orbit_elect`);
     the resulting record is byte-identical to the per-node engine
     record, so cache contents are independent of the flag.
+    ``shards=N`` (N >= 1) dispatches cold computes to a fingerprint-
+    routed pool of worker processes (:mod:`repro.service.shard`);
+    ``shards=0`` keeps the in-process compute path.  Records and
+    responses are byte-identical either way.
     """
 
     def __init__(
@@ -120,16 +167,28 @@ class ServiceCore:
         batch_chunk_size: Optional[int] = None,
         batch_workers: int = 1,
         orbit_collapse: bool = True,
+        shards: int = 0,
     ):
         for task in tasks:
             get_task(task)  # fail fast on unknown engine tasks
+        if shards < 0:
+            raise ServiceError(f"shards must be >= 0, got {shards}")
         self.cache = cache if cache is not None else ResultCache()
         self.tasks = tuple(tasks)
         self.orbit_collapse = orbit_collapse
         self.batch_chunk_size = batch_chunk_size
         self.batch_workers = batch_workers
+        self.shards = shards
         self._lock = threading.Lock()  # cache + metrics bookkeeping
         self._compute_lock = threading.Lock()  # the global view caches
+        self._inflight: Dict[CacheKey, _Inflight] = {}
+        # fork the pool before any serving: workers inherit loaded
+        # modules only — no server socket, no held locks
+        self._pool: Optional[ShardPool] = (
+            ShardPool(shards, orbit_collapse=orbit_collapse)
+            if shards > 0
+            else None
+        )
         self._started = time.monotonic()
         self._stats: Dict[str, Dict[str, float]] = {}
 
@@ -137,8 +196,10 @@ class ServiceCore:
     # metrics
     # ------------------------------------------------------------------
     def _task_stats(self, task: str) -> Dict[str, float]:
-        # hits = memory_hits + warehouse_hits + file_hits (which cache
-        # tier answered); misses are cold computes
+        # hits = memory_hits + warehouse_hits + file_hits +
+        # inflight_hits (which tier answered: a cache tier, or a
+        # concurrent compute the caller joined); misses are cold
+        # computes this caller led
         return self._stats.setdefault(
             task,
             {
@@ -146,6 +207,7 @@ class ServiceCore:
                 "memory_hits": 0,
                 "warehouse_hits": 0,
                 "file_hits": 0,
+                "inflight_hits": 0,
                 "misses": 0,
                 "errors": 0,
                 "latency_s": 0.0,
@@ -170,7 +232,8 @@ class ServiceCore:
         """Hit/miss/error/latency counters, total and per task, plus the
         cache tier sizes — the ``GET /metrics`` body.  ``hits`` split by
         answering tier: ``memory_hits`` (the LRU), ``warehouse_hits``
-        (one indexed row read), ``file_hits`` (one JSONL offset read);
+        (one indexed row read), ``file_hits`` (one JSONL offset read),
+        ``inflight_hits`` (joined a concurrent compute of the same key);
         ``misses`` are cold computes."""
         with self._lock:
             tasks = {name: dict(stats) for name, stats in self._stats.items()}
@@ -182,7 +245,7 @@ class ServiceCore:
             }
         counter_keys = (
             "hits", "memory_hits", "warehouse_hits", "file_hits",
-            "misses", "errors",
+            "inflight_hits", "misses", "errors",
         )
         totals = {
             key: sum(stats[key] for stats in tasks.values())
@@ -193,6 +256,7 @@ class ServiceCore:
         out["latency_s"] = totals["latency_s"]
         out["tasks"] = tasks
         out["cache"] = cache
+        out["shards"] = self.shards
         return out
 
     # ------------------------------------------------------------------
@@ -247,33 +311,114 @@ class ServiceCore:
             )
         return result
 
+    def _compute_record(self, task: str, form: CanonicalForm) -> Record:
+        """One cold compute: through the fingerprint's shard worker in
+        sharded mode, in-process under the compute lock otherwise."""
+        if self._pool is not None:
+            return self._pool.compute(
+                task, form.fingerprint, form.certificate.decode("ascii")
+            )
+        return self._compute(task, form)
+
+    # ------------------------------------------------------------------
+    # in-flight deduplication
+    # ------------------------------------------------------------------
+    def _join_inflight(self, key: CacheKey) -> Tuple[_Inflight, bool]:
+        """Register for the key's in-progress compute: ``(entry, True)``
+        makes the caller the leader (it must compute and resolve),
+        ``(entry, False)`` a follower (it waits)."""
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Inflight()
+            self._inflight[key] = flight
+            return flight, True
+
+    def _finish_inflight(
+        self,
+        key: CacheKey,
+        flight: _Inflight,
+        record: Optional[Record] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        """Leader-side resolution.  Deregister *after* the cache insert
+        (the caller's responsibility) and *before* waking the waiters:
+        any thread arriving in between finds the cache entry, so no
+        second leader is ever elected for a computed record."""
+        with self._lock:
+            self._inflight.pop(key, None)
+        flight.record = record
+        flight.error = error
+        flight.event.set()
+
     def query(self, task: str, graph: PortGraph) -> QueryResult:
         """Answer one request: fingerprint, cache lookup, compute on
-        miss, record.  Task failures (e.g. ``elect`` on an infeasible
-        graph) count as errors and re-raise for the transport to map."""
+        miss, record.  Concurrent cold queries for the same key compute
+        once — the leader runs the task, followers wait and are counted
+        as ``inflight`` hits (their record is in the cache by the time
+        they return, hence ``cached=True``).  Task failures (e.g.
+        ``elect`` on an infeasible graph) count as errors — for the
+        leader and every follower — and re-raise for the transport to
+        map."""
         self._check_task(task)
         t0 = time.perf_counter()
         form = canonical_form(graph)
         key = (form.fingerprint, task)
         record, tier = self._lookup(key)
-        cached = record is not None
-        if not cached:
+        if record is not None:
+            self._count(task, "hits", time.perf_counter() - t0, tier=tier)
+            return QueryResult(
+                task=task,
+                fingerprint=form.fingerprint,
+                cached=True,
+                record=record,
+                to_canonical=form.to_canonical,
+            )
+        flight, leader = self._join_inflight(key)
+        if not leader:
             try:
-                record = self._compute(task, form)
+                record = flight.wait()
             except ReproError:
                 self._count(task, "errors", time.perf_counter() - t0)
                 raise
-            self._insert(key, record)
-        self._count(
-            task,
-            "hits" if cached else "misses",
-            time.perf_counter() - t0,
-            tier=tier,
-        )
+            self._count(
+                task, "hits", time.perf_counter() - t0, tier="inflight"
+            )
+            return QueryResult(
+                task=task,
+                fingerprint=form.fingerprint,
+                cached=True,
+                record=record,
+                to_canonical=form.to_canonical,
+            )
+        try:
+            record = self._compute_record(task, form)
+        except BaseException as exc:
+            # resolve the flight whatever happened — a leader that left
+            # waiters hanging would deadlock them.  Domain errors travel
+            # as themselves; anything else (KeyboardInterrupt, a bug)
+            # fails the waiters with a wrapper and re-raises here.
+            if isinstance(exc, ReproError):
+                self._count(task, "errors", time.perf_counter() - t0)
+                self._finish_inflight(key, flight, error=exc)
+            else:
+                self._finish_inflight(
+                    key,
+                    flight,
+                    error=ServiceError(
+                        f"concurrent compute of '{task}' failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                )
+            raise
+        self._insert(key, record)
+        self._finish_inflight(key, flight, record=record)
+        self._count(task, "misses", time.perf_counter() - t0)
         return QueryResult(
             task=task,
             fingerprint=form.fingerprint,
-            cached=cached,
+            cached=False,
             record=record,
             to_canonical=form.to_canonical,
         )
@@ -281,74 +426,224 @@ class ServiceCore:
     # ------------------------------------------------------------------
     # the batch path
     # ------------------------------------------------------------------
-    def batch(
-        self, requests: Iterable[Tuple[str, PortGraph]]
-    ) -> List[QueryResult]:
-        """Answer a request list: hits from the cache, the deduplicated
-        misses through ``run_stream`` in chunks, answers in request
-        order.  A task failure inside the fan-out fails the whole batch
-        (the engine's error carries the failing canonical name)."""
-        t0 = time.perf_counter()
-        items: List[
-            Tuple[str, CanonicalForm, CacheKey, Optional[Record], Optional[str]]
-        ] = []
-        to_compute: Dict[str, Dict[str, PortGraph]] = {}  # task -> name->graph
-        key_of_name: Dict[Tuple[str, str], CacheKey] = {}
-        for task, graph in requests:
-            self._check_task(task)
-            form = canonical_form(graph)
-            key = (form.fingerprint, task)
-            hit, tier = self._lookup(key)
-            items.append((task, form, key, hit, tier))
-            if hit is None:
-                name = canonical_query_name(form.fingerprint)
-                if name not in to_compute.setdefault(task, {}):
-                    from repro.graphs.serialization import from_json
-
-                    to_compute[task][name] = from_json(
-                        form.certificate.decode("ascii")
-                    )
-                    key_of_name[(task, name)] = key
+    def _batch_compute_inprocess(
+        self,
+        to_compute: Dict[str, Dict[str, CanonicalForm]],
+        key_of_name: Dict[Tuple[str, str], CacheKey],
+        computed: Dict[CacheKey, Record],
+        arrival_s: Dict[CacheKey, float],
+        t0: float,
+    ) -> None:
+        """The N=0 compute phase: each task's residual graphs through
+        ``run_stream`` under the compute lock (the serial path computes
+        — and clears the global view caches — on this request thread;
+        the parallel path computes in worker processes, but the coarse
+        lock stays correct either way)."""
+        from repro.graphs.serialization import from_json
 
         config = EngineConfig(
             workers=self.batch_workers, chunk_size=self.batch_chunk_size
         )
+        with self._compute_lock:
+            for task, forms in to_compute.items():
+                graphs = (
+                    (name, from_json(form.certificate.decode("ascii")))
+                    for name, form in forms.items()
+                )
+                for record in run_stream(graphs, task, config):
+                    key = key_of_name[(task, record["name"])]
+                    computed[key] = record
+                    arrival_s[key] = time.perf_counter() - t0
+                    self._insert(key, record)
+
+    def _batch_compute_sharded(
+        self,
+        to_compute: Dict[str, Dict[str, CanonicalForm]],
+        key_of_name: Dict[Tuple[str, str], CacheKey],
+        computed: Dict[CacheKey, Record],
+        arrival_s: Dict[CacheKey, float],
+        t0: float,
+    ) -> None:
+        """The sharded compute phase: the unique misses grouped by
+        route, one draining thread per involved shard (each worker
+        serves one request at a time, so per-shard threads saturate the
+        pool without queue contention).  A task failure on any shard
+        fails the batch, exactly as the in-process path does — already-
+        landed records are still cached and counted."""
+        assert self._pool is not None
+        by_shard: Dict[int, List[Tuple[str, CanonicalForm]]] = {}
+        for task, forms in to_compute.items():
+            for form in forms.values():
+                shard = self._pool.shard_of(form.fingerprint)
+                by_shard.setdefault(shard, []).append((task, form))
+        errors: List[ReproError] = []
+        done_lock = threading.Lock()
+
+        def drain(jobs: List[Tuple[str, CanonicalForm]]) -> None:
+            for task, form in jobs:
+                key = (form.fingerprint, task)
+                try:
+                    record = self._pool.compute(
+                        task,
+                        form.fingerprint,
+                        form.certificate.decode("ascii"),
+                    )
+                except ReproError as exc:
+                    with done_lock:
+                        errors.append(exc)
+                    return
+                except Exception as exc:  # a bug must fail the batch,
+                    # not die silently with the drain thread
+                    with done_lock:
+                        errors.append(
+                            ServiceError(
+                                f"shard batch compute failed: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                        )
+                    return
+                now_s = time.perf_counter() - t0
+                with done_lock:
+                    computed[key] = record
+                    arrival_s[key] = now_s
+                self._insert(key, record)
+
+        threads = [
+            threading.Thread(target=drain, args=(jobs,), daemon=True)
+            for jobs in by_shard.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    def batch(
+        self, requests: Iterable[Tuple[str, PortGraph]]
+    ) -> List[QueryResult]:
+        """Answer a request list: hits from the cache, the deduplicated
+        misses through ``run_stream`` in chunks (or across the shard
+        pool in sharded mode), answers in request order.  A task failure
+        inside the fan-out fails the whole batch (the engine's error
+        carries the failing canonical name).
+
+        Metrics are per item and honest: a hit is charged its own
+        lookup latency; the first occurrence of a cold key is the miss,
+        charged the time until its record landed; further occurrences
+        of the same cold key are ``inflight`` hits (they rode the one
+        compute), charged the same landing time.  On a failed batch,
+        items whose record never landed count as errors with the time
+        to failure.  The unique cold keys are also registered in the
+        in-flight table, so concurrent single queries join the batch's
+        computes instead of recomputing."""
+        t0 = time.perf_counter()
+        # item: (task, form, key, hit, tier, first, lookup_s)
+        items: List[
+            Tuple[
+                str,
+                CanonicalForm,
+                CacheKey,
+                Optional[Record],
+                Optional[str],
+                bool,
+                float,
+            ]
+        ] = []
+        to_compute: Dict[str, Dict[str, CanonicalForm]] = {}
+        key_of_name: Dict[Tuple[str, str], CacheKey] = {}
+        for task, graph in requests:
+            self._check_task(task)
+            item_t0 = time.perf_counter()
+            form = canonical_form(graph)
+            key = (form.fingerprint, task)
+            hit, tier = self._lookup(key)
+            lookup_s = time.perf_counter() - item_t0
+            first = False
+            if hit is None:
+                name = canonical_query_name(form.fingerprint)
+                if name not in to_compute.setdefault(task, {}):
+                    to_compute[task][name] = form
+                    key_of_name[(task, name)] = key
+                    first = True
+            items.append((task, form, key, hit, tier, first, lookup_s))
+
+        # register the unique cold keys so concurrent queries dedup
+        # against this batch; only keys we lead get resolved by us (a
+        # key some other request is already computing stays theirs — we
+        # compute our own copy, a benign duplicate, rather than block
+        # the whole batch on a foreign flight)
+        flights: Dict[CacheKey, _Inflight] = {}
+        for key in key_of_name.values():
+            flight, leader = self._join_inflight(key)
+            if leader:
+                flights[key] = flight
+
         computed: Dict[CacheKey, Record] = {}
+        arrival_s: Dict[CacheKey, float] = {}
         try:
-            # under the compute lock: the serial path of run_stream
-            # computes — and clears the global view caches — on this
-            # request thread (the parallel path computes in worker
-            # processes, but the coarse lock stays correct either way)
-            with self._compute_lock:
-                for task, graphs in to_compute.items():
-                    for record in run_stream(
-                        iter(graphs.items()), task, config
-                    ):
-                        key = key_of_name[(task, record["name"])]
-                        computed[key] = record
-                        self._insert(key, record)
-        except ReproError:
+            if self._pool is not None:
+                self._batch_compute_sharded(
+                    to_compute, key_of_name, computed, arrival_s, t0
+                )
+            else:
+                self._batch_compute_inprocess(
+                    to_compute, key_of_name, computed, arrival_s, t0
+                )
+        except BaseException as exc:
+            fail_s = time.perf_counter() - t0
+            for key, flight in flights.items():
+                if key in computed:
+                    self._finish_inflight(key, flight, record=computed[key])
+                else:
+                    self._finish_inflight(
+                        key,
+                        flight,
+                        error=exc
+                        if isinstance(exc, ReproError)
+                        else ServiceError(
+                            f"concurrent batch compute failed: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+            if not isinstance(exc, ReproError):
+                raise
             # the whole batch fails (the transport returns one error for
             # every request), but the counters must still account for
-            # every item: hits stay hits, records that did get computed
-            # (and cached) are misses, everything else is an error
-            for task, _form, key, hit, tier in items:
+            # every item — with its real latency: hits stay hits,
+            # records that did land (and got cached) are the miss (first
+            # occurrence) or an inflight hit (duplicates), everything
+            # else is an error charged the time to failure
+            for task, _form, key, hit, tier, first, lookup_s in items:
                 if hit is not None:
-                    self._count(task, "hits", tier=tier)
+                    self._count(task, "hits", lookup_s, tier=tier)
                 elif key in computed:
-                    self._count(task, "misses")
+                    if first:
+                        self._count(task, "misses", arrival_s[key])
+                    else:
+                        self._count(
+                            task, "hits", arrival_s[key], tier="inflight"
+                        )
                 else:
-                    self._count(task, "errors")
+                    self._count(task, "errors", fail_s)
             raise
+        for key, flight in flights.items():
+            self._finish_inflight(key, flight, record=computed[key])
 
         results: List[QueryResult] = []
-        latency_each = (time.perf_counter() - t0) / max(1, len(items))
-        for task, form, key, hit, tier in items:
+        for task, form, key, hit, tier, first, lookup_s in items:
             cached = hit is not None
             record = hit if cached else computed[key]
-            self._count(
-                task, "hits" if cached else "misses", latency_each, tier=tier
-            )
+            if cached:
+                self._count(task, "hits", lookup_s, tier=tier)
+            elif first:
+                self._count(task, "misses", arrival_s[key])
+            else:
+                # a duplicate of a cold key: it rode the first
+                # occurrence's compute — an in-flight hit, though the
+                # response keeps ``cached=False`` (this batch did
+                # compute it; the flag describes the answer's origin)
+                self._count(task, "hits", arrival_s[key], tier="inflight")
             results.append(
                 QueryResult(
                     task=task,
@@ -361,4 +656,6 @@ class ServiceCore:
         return results
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
         self.cache.close()

@@ -31,8 +31,10 @@ All bodies, including errors, are JSON.
 No third-party dependency: ``http.server`` is in the stdlib.  Request
 threads overlap freely on parsing, fingerprinting and cache hits; task
 *computations* serialize on the core's compute lock (the view caches
-are process-global — see :mod:`repro.service.api`), with batch fan-out
-via worker processes as the way to scale the compute side.
+are process-global — see :mod:`repro.service.api`) unless the core runs
+sharded (``ServiceCore(shards=N)`` / ``repro serve --shards N``), where
+cold computes fan out across fingerprint-routed worker processes and
+only per-shard traffic serializes.
 """
 
 from __future__ import annotations
@@ -93,6 +95,20 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _read_json_body(self) -> Any:
+        encodings = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encodings:
+            # without this check a chunked request (no Content-Length)
+            # would fall into the empty-body branch below and get a
+            # misleading "body must be a JSON document"; name the actual
+            # problem, with the 411 status the HTTP spec assigns to it.
+            # The chunked body is unread, so the connection must close.
+            self.close_connection = True
+            exc = ServiceError(
+                "chunked transfer encoding is not supported: send the "
+                "body with an explicit Content-Length"
+            )
+            exc.http_status = 411  # Length Required
+            raise exc
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -122,6 +138,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         if self.path == "/healthz":
             metrics = self.core.metrics()
+            pool = getattr(self.core, "_pool", None)
             self._send_json(
                 200,
                 {
@@ -129,6 +146,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "uptime_s": metrics["uptime_s"],
                     "tasks": list(self.core.tasks),
                     "cache": metrics["cache"],
+                    "shards": self.core.shards,
+                    "shards_alive": pool.alive() if pool is not None else [],
                 },
             )
         elif self.path == "/metrics":
@@ -142,7 +161,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_json_body()
         except ServiceError as exc:
-            self._send_error_json(400, exc)
+            # a body-framing error may carry its own status (411 for
+            # chunked encoding); anything else is a plain 400
+            self._send_error_json(getattr(exc, "http_status", 400), exc)
             return
         if self.path == "/v1/batch":
             self._handle_batch(body)
@@ -231,7 +252,10 @@ def serve_until_shutdown(
 
     Signal handlers can only be installed from the main thread; off it
     the flag is ignored (the tests run the CLI loop in a worker thread
-    and stop it through ``shutdown()``)."""
+    and stop it through ``shutdown()``).  Installed handlers are
+    restored on exit — an embedding process (or a test harness) keeps
+    its own SIGTERM/SIGINT behavior after the server stops."""
+    previous_handlers = None
     if (
         install_signal_handlers
         and threading.current_thread() is threading.main_thread()
@@ -241,6 +265,10 @@ def serve_until_shutdown(
         def _stop(signum, frame):  # pragma: no cover - signal path
             threading.Thread(target=server.shutdown, daemon=True).start()
 
+        previous_handlers = (
+            signal.getsignal(signal.SIGTERM),
+            signal.getsignal(signal.SIGINT),
+        )
         signal.signal(signal.SIGTERM, _stop)
         signal.signal(signal.SIGINT, _stop)
     if ready is not None:
@@ -248,5 +276,8 @@ def serve_until_shutdown(
     try:
         server.serve_forever()
     finally:
+        if previous_handlers is not None:
+            signal.signal(signal.SIGTERM, previous_handlers[0])
+            signal.signal(signal.SIGINT, previous_handlers[1])
         server.server_close()
         server.core.close()

@@ -186,6 +186,31 @@ class TestEndpoints:
         finally:
             conn.close()
 
+    def test_chunked_request_gets_a_411_naming_the_problem(self, service):
+        """A chunked request has no Content-Length; it used to fall into
+        the empty-body branch and get the misleading "body must be a
+        JSON document".  It must get a 411 that names the actual problem
+        (regression)."""
+        import http.client
+
+        url, _core = service
+        host, port = url[len("http://") :].split(":")
+        conn = http.client.HTTPConnection(host, int(port), timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/index")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            conn.send(b"2\r\n{}\r\n0\r\n\r\n")
+            resp = conn.getresponse()
+            assert resp.status == 411
+            body = json.load(resp)
+            assert body["error"] == "ServiceError"
+            assert "chunked" in body["detail"]
+            assert "Content-Length" in body["detail"]
+            assert resp.will_close  # the chunked body was never consumed
+        finally:
+            conn.close()
+
     def test_oversized_body_rejection_closes_the_connection(self, service):
         """Rejecting a body without consuming it must not leave its bytes
         to desynchronize a keep-alive connection (regression)."""
@@ -206,6 +231,106 @@ class TestEndpoints:
             assert resp.will_close  # server closed: nothing left to parse
         finally:
             conn.close()
+
+
+class TestSignalHandlers:
+    def test_serve_until_shutdown_restores_previous_handlers(self):
+        """Embedding the server must not permanently hijack SIGTERM and
+        SIGINT: whatever handlers were installed before the accept loop
+        must be back after it exits (regression: the handlers leaked)."""
+        import signal
+
+        def custom_handler(signum, frame):  # pragma: no cover - never fired
+            pass
+
+        previous_term = signal.signal(signal.SIGTERM, custom_handler)
+        previous_int = signal.signal(signal.SIGINT, custom_handler)
+        try:
+            server = make_server(ServiceCore())
+            stopper = threading.Timer(0.3, server.shutdown)
+            stopper.start()
+            # main thread, so the handlers really are installed
+            serve_until_shutdown(server, install_signal_handlers=True)
+            stopper.join(5)
+            assert signal.getsignal(signal.SIGTERM) is custom_handler
+            assert signal.getsignal(signal.SIGINT) is custom_handler
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+
+    def test_no_handlers_touched_off_main_thread(self):
+        """The worker-thread path (the tests' own fixture) must leave
+        the process signal table alone entirely."""
+        import signal
+
+        before = (
+            signal.getsignal(signal.SIGTERM),
+            signal.getsignal(signal.SIGINT),
+        )
+        server = make_server(ServiceCore())
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=serve_until_shutdown,
+            kwargs=dict(
+                server=server, install_signal_handlers=True, ready=ready
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(5)
+        server.shutdown()
+        thread.join(5)
+        assert (
+            signal.getsignal(signal.SIGTERM),
+            signal.getsignal(signal.SIGINT),
+        ) == before
+
+
+class TestShardedServer:
+    def test_sharded_server_answers_and_reports_health(self):
+        """End to end over a socket with shards=2: answers byte-identical
+        to a single-process server, /healthz reports live shards."""
+        cores = [ServiceCore(shards=2), ServiceCore()]
+        servers = [make_server(core) for core in cores]
+        threads = []
+        try:
+            for server in servers:
+                ready = threading.Event()
+                thread = threading.Thread(
+                    target=serve_until_shutdown,
+                    kwargs=dict(server=server, ready=ready),
+                    daemon=True,
+                )
+                thread.start()
+                assert ready.wait(5)
+                threads.append(thread)
+            urls = [
+                f"http://127.0.0.1:{server.server_address[1]}"
+                for server in servers
+            ]
+            g = random_tree(11, seed=13)
+            payloads = [
+                post(url, "/v1/elect", to_dict(g))[1] for url in urls
+            ]
+            assert json.dumps(payloads[0], sort_keys=True) == json.dumps(
+                payloads[1], sort_keys=True
+            )
+            _status, health = get(urls[0], "/healthz")
+            assert health["shards"] == 2
+            assert health["shards_alive"] == [True, True]
+            _status, single_health = get(urls[1], "/healthz")
+            assert single_health["shards"] == 0
+            assert single_health["shards_alive"] == []
+            # a 422 maps identically through a shard worker
+            code, body = post_error(
+                urls[0], "/v1/elect", json.dumps(to_dict(ring(6))).encode()
+            )
+            assert code == 422 and body["error"] == "InfeasibleGraphError"
+        finally:
+            for server in servers:
+                server.shutdown()
+            for thread in threads:
+                thread.join(5)
 
 
 class TestPersistenceAcrossRestart:
