@@ -198,40 +198,117 @@ def _scenario_strict(quick: bool) -> List[Case]:
     """Strict-wire election: every message serialized to bits and decoded
     back — the byte-honest engine plus the coding layer, broken down per
     graph family (trees, caterpillars, lollipops) so a coding-layer
-    regression shows *where* it bites."""
+    regression shows *where* it bites.
+
+    Each case is classified ``bound="wire"`` (serialization dominates the
+    profile: dense lollipop views recur across many ports and rounds) or
+    ``bound="compute"`` (advice decode / trie queries dominate; the codec
+    caches cannot help much).  The pre-optimization codec survives as
+    ``seed_wire_wrapped``, so every case first asserts the fast path
+    byte-identical to it on the full run (outputs, rounds, per-round
+    message counts, per-node ``bits_sent``) and then times both on the
+    identical workload; the ratio is emitted as ``speedup_vs_seed``, the
+    number the CI gate reads (>= 3x on wire-bound cases), alongside the
+    shared message plane's dedup hit counters."""
     from repro.core.advice import compute_advice
     from repro.core.elect import ElectAlgorithm
     from repro.graphs.generators import caterpillar, lollipop, random_tree
     from repro.sim import run_sync
-    from repro.sim.strict import wire_wrapped
+    from repro.sim.strict import MessagePlane, seed_wire_wrapped, wire_wrapped
+    from repro.views import clear_view_caches
 
     # parameters chosen so every graph is feasible (asserted below)
     if quick:
         specs = [
-            ("elect-wire-tree-n24", lambda: random_tree(24, seed=2)),
+            (
+                "elect-wire-tree-n24",
+                "random-trees",
+                "compute",
+                lambda: random_tree(24, seed=2),
+            ),
             (
                 "elect-wire-caterpillar-s8",
+                "caterpillars",
+                "compute",
                 lambda: caterpillar(8, (1, 3, 0, 2, 4, 0, 1, 2)),
             ),
-            ("elect-wire-lollipop-k6t8", lambda: lollipop(6, 8)),
+            (
+                "elect-wire-lollipop-k8t12",
+                "lollipops",
+                "wire",
+                lambda: lollipop(8, 12),
+            ),
         ]
     else:
         specs = [
-            ("elect-wire-tree-n60", lambda: random_tree(60, seed=2)),
-            ("elect-wire-tree-n90", lambda: random_tree(90, seed=4)),
+            (
+                "elect-wire-tree-n60",
+                "random-trees",
+                "compute",
+                lambda: random_tree(60, seed=2),
+            ),
+            (
+                "elect-wire-tree-n90",
+                "random-trees",
+                "compute",
+                lambda: random_tree(90, seed=4),
+            ),
             (
                 "elect-wire-caterpillar-s16",
+                "caterpillars",
+                "compute",
                 lambda: caterpillar(
                     16, (1, 3, 0, 2, 4, 0, 1, 2, 5, 0, 3, 1, 2, 0, 4, 1)
                 ),
             ),
-            ("elect-wire-lollipop-k8t20", lambda: lollipop(8, 20)),
+            (
+                "elect-wire-lollipop-k8t20",
+                "lollipops",
+                "wire",
+                lambda: lollipop(8, 20),
+            ),
         ]
     repeats = 2 if quick else 3
     cases: List[Case] = []
-    for case_name, build in specs:
+    for case_name, family, bound, build in specs:
         g = build()
         bundle = compute_advice(g)  # raises if infeasible: bad spec
+
+        def run_capture(make_factory):
+            """One full run capturing per-node wrappers for bits_sent."""
+            instances: List[Any] = []
+
+            def factory():
+                a = make_factory()
+                instances.append(a)
+                return a
+
+            result = run_sync(g, factory, advice=bundle.bits)
+            if len(result.outputs) != g.n:
+                raise ReproError("strict scenario lost node outputs")
+            bits = [a.bits_sent for a in instances]
+            return result, bits
+
+        # parity first: a fast number from a wrong byte stream is
+        # worthless, so refuse to time a path that diverges from the
+        # seed codec anywhere in the run
+        clear_view_caches()
+        plane = MessagePlane()
+        fast, fast_bits = run_capture(wire_wrapped(ElectAlgorithm, plane))
+        stats = plane.stats()
+        clear_view_caches()
+        seed, seed_bits = run_capture(seed_wire_wrapped(ElectAlgorithm))
+        if (
+            fast.outputs != seed.outputs
+            or fast.output_round != seed.output_round
+            or fast.rounds != seed.rounds
+            or fast.per_round_messages != seed.per_round_messages
+            or fast_bits != seed_bits
+        ):
+            raise ReproError(
+                f"strict scenario: cached and seed codecs disagree on "
+                f"{case_name} — refusing to time a broken path"
+            )
 
         def run() -> None:
             result = run_sync(
@@ -240,10 +317,29 @@ def _scenario_strict(quick: bool) -> List[Case]:
             if len(result.outputs) != g.n:
                 raise ReproError("strict scenario lost node outputs")
 
+        def run_seed() -> None:
+            result = run_sync(
+                g, seed_wire_wrapped(ElectAlgorithm), advice=bundle.bits
+            )
+            if len(result.outputs) != g.n:
+                raise ReproError("strict scenario lost node outputs")
+
         seconds, reps = _time_case(run, repeats, clear_caches=True)
-        cases.append(
-            {"case": case_name, "seconds": seconds, "repeats": reps, "n": g.n}
-        )
+        seed_seconds, _ = _time_case(run_seed, repeats, clear_caches=True)
+        case: Case = {
+            "case": case_name,
+            "seconds": seconds,
+            "repeats": reps,
+            "n": g.n,
+            "family": family,
+            "bound": bound,
+            "seed_seconds": seed_seconds,
+            "speedup_vs_seed": (
+                seed_seconds / seconds if seconds > 0 else None
+            ),
+        }
+        case.update(stats)
+        cases.append(case)
     return cases
 
 

@@ -41,7 +41,12 @@ from repro.sim.schedulers import (
     Scheduler,
     make_schedules,
 )
-from repro.sim.strict import WireWrapped, wire_wrapped
+from repro.sim.strict import (
+    MessagePlane,
+    WireWrapped,
+    seed_wire_wrapped,
+    wire_wrapped,
+)
 from repro.sim.trace import RoundTrace, Tracer, message_cost, view_dag_size
 
 __all__ = [
@@ -62,6 +67,8 @@ __all__ = [
     "make_schedules",
     "WireWrapped",
     "wire_wrapped",
+    "seed_wire_wrapped",
+    "MessagePlane",
     "Tracer",
     "RoundTrace",
     "message_cost",

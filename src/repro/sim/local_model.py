@@ -197,6 +197,17 @@ class SyncEngine:
         inboxes: List[List[Optional[Any]]] = [
             [None] * degrees[v] for v in range(n)
         ]
+        # per-port delivery targets resolved once over the flat arrays:
+        # targets[u][p] is the (inbox buffer, remote port) the message out
+        # of u through p lands in, so the delivery and reset loops do one
+        # tuple unpack per message instead of re-deriving the CSR slot
+        targets: List[List[Tuple[List[Optional[Any]], int]]] = [
+            [
+                (inboxes[dst_node[slot]], dst_port[slot])
+                for slot in range(offsets[u], offsets[u] + degrees[u])
+            ]
+            for u in range(n)
+        ]
         while undecided:
             if rounds >= self._max_rounds:
                 stuck = [
@@ -233,10 +244,10 @@ class SyncEngine:
             for u in range(n):
                 out = outboxes[u]
                 if out:
-                    base = offsets[u]
+                    tu = targets[u]
                     for port, msg in out.items():
-                        slot = base + port
-                        inboxes[dst_node[slot]][dst_port[slot]] = msg
+                        buf, dp = tu[port]
+                        buf[dp] = msg
             # phase 3: everyone processes
             for v in range(n):
                 ctx = contexts[v]
@@ -249,10 +260,10 @@ class SyncEngine:
             for u in range(n):
                 out = outboxes[u]
                 if out:
-                    base = offsets[u]
+                    tu = targets[u]
                     for port in out:
-                        slot = base + port
-                        inboxes[dst_node[slot]][dst_port[slot]] = None
+                        buf, dp = tu[port]
+                        buf[dp] = None
             total_messages += round_messages
             per_round_messages.append(round_messages)
 

@@ -10,11 +10,23 @@ would have seen in the fast path — the tests demand bit-identical outputs
 
 This is the strongest form of the information-boundary guarantee: no
 shared-memory channel exists at all.
+
+The round-level message plane (:class:`MessagePlane`) is the strict
+path's dedup layer: the sync engine's flat-array delivery already hands
+one ``Bits`` object to every receiver of a payload, and the plane closes
+the loop on the codec side — each distinct ``(port, View)`` outgoing
+message is encoded once and each distinct wire string decoded once per
+run, no matter how many nodes send or receive it in a round.
+:func:`wire_wrapped` shares one plane across all nodes of a run; its hit
+counters feed the strict bench's breakdown records.  The pre-optimization
+per-message path survives as :func:`seed_wire_wrapped`, the in-run
+reference for ``speedup_vs_seed`` and the byte-parity tests.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.coding.bitstring import Bits
 from repro.coding.concat import concat_bits, decode_concat
@@ -22,21 +34,43 @@ from repro.coding.integers import decode_uint, encode_uint
 from repro.errors import SimulationError
 from repro.sim.local_model import NodeAlgorithm, NodeContext
 from repro.views.view import View
-from repro.views.wire import decode_view_wire, encode_view_wire
+from repro.views.wire import (
+    _SEPARATOR,
+    _decode_view_wire_uncached,
+    _double,
+    _encode_view_wire_uncached,
+    decode_view_wire,
+    encode_view_wire,
+)
+
+#: Every live plane, cleared by ``repro.views.clear_view_caches``: plane
+#: entries key on interned-view identity and hold interned views, so a
+#: plane surviving a cache clear must drop them with the intern table.
+_LIVE_PLANES: "weakref.WeakSet[MessagePlane]" = weakref.WeakSet()
 
 
-def _encode_message(msg: Any) -> Bits:
+def _clear_message_planes() -> None:
+    for plane in list(_LIVE_PLANES):
+        plane.clear()
+
+
+def _check_com_message(msg: Any) -> Tuple[int, View]:
     if (
         isinstance(msg, tuple)
         and len(msg) == 2
         and isinstance(msg[0], int)
         and isinstance(msg[1], View)
     ):
-        return concat_bits(
-            [encode_uint(0), encode_uint(msg[0]), encode_view_wire(msg[1])]
-        )
+        return msg
     raise SimulationError(
         f"strict mode supports COM messages (port, View); got {type(msg).__name__}"
+    )
+
+
+def _encode_message(msg: Any) -> Bits:
+    port, view = _check_com_message(msg)
+    return concat_bits(
+        [encode_uint(0), encode_uint(port), encode_view_wire(view)]
     )
 
 
@@ -50,12 +84,120 @@ def _decode_message(bits: Bits) -> Any:
     raise SimulationError(f"unknown strict message kind {kind}")
 
 
+def _encode_message_seed(msg: Any) -> Bits:
+    """The seed path: full-DAG encode per message, no caches anywhere."""
+    port, view = _check_com_message(msg)
+    return concat_bits(
+        [encode_uint(0), encode_uint(port), _encode_view_wire_uncached(view)]
+    )
+
+
+def _decode_message_seed(bits: Bits) -> Any:
+    """The seed path: every record of every message parsed on arrival."""
+    fields = decode_concat(bits)
+    kind = decode_uint(fields[0])
+    if kind == 0:
+        if len(fields) != 3:
+            raise SimulationError("malformed strict COM message")
+        return (decode_uint(fields[1]), _decode_view_wire_uncached(fields[2]))
+    raise SimulationError(f"unknown strict message kind {kind}")
+
+
+class MessagePlane:
+    """Per-run message dedup shared by every node of a strict execution.
+
+    Keys are exact — ``(port, id(view))`` on the way out (views are
+    interned, identity is structural equality) and the wire string on
+    the way in — so a hit returns the byte-identical ``Bits`` / message
+    tuple the per-node codec would produce: ``bits_sent`` accounting and
+    strict records are unchanged.  ``clear_view_caches`` empties every
+    live plane; create one plane per run (``wire_wrapped`` does) or pass
+    a long-lived one explicitly to read its hit counters.
+    """
+
+    __slots__ = (
+        "_encode_cache",
+        "_decode_cache",
+        "_doubled_view",
+        "encode_calls",
+        "encode_hits",
+        "decode_calls",
+        "decode_hits",
+        "__weakref__",
+    )
+
+    def __init__(self) -> None:
+        self._encode_cache: Dict[Tuple[int, int], Bits] = {}
+        self._decode_cache: Dict[str, Any] = {}
+        self._doubled_view: Dict[int, str] = {}
+        self.encode_calls = 0
+        self.encode_hits = 0
+        self.decode_calls = 0
+        self.decode_hits = 0
+        _LIVE_PLANES.add(self)
+
+    def encode(self, msg: Any) -> Bits:
+        self.encode_calls += 1
+        port, view = _check_com_message(msg)
+        key = (port, id(view))
+        wire = self._encode_cache.get(key)
+        if wire is not None:
+            self.encode_hits += 1
+            return wire
+        # concat_bits([a, b, c]) is join(doubled parts, "01"); the view
+        # wire dominates the message, so its doubled form is cached per
+        # view rather than re-doubled for every port it is sent through
+        dview = self._doubled_view.get(id(view))
+        if dview is None:
+            dview = _double(encode_view_wire(view).as_str())
+            self._doubled_view[id(view)] = dview
+        wire = Bits._unsafe(
+            _SEPARATOR.join(
+                ("00", _double(encode_uint(port).as_str()), dview)
+            )
+        )
+        self._encode_cache[key] = wire
+        return wire
+
+    def decode(self, bits: Bits) -> Any:
+        self.decode_calls += 1
+        key = bits.as_str()
+        msg = self._decode_cache.get(key)
+        if msg is not None:
+            self.decode_hits += 1
+            return msg
+        msg = _decode_message(bits)
+        self._decode_cache[key] = msg
+        return msg
+
+    def clear(self) -> None:
+        """Drop the dedup entries (hit counters are left running)."""
+        self._encode_cache.clear()
+        self._decode_cache.clear()
+        self._doubled_view.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """The hit counters, in bench-record field names."""
+        return {
+            "encode_calls": self.encode_calls,
+            "encode_hits": self.encode_hits,
+            "decode_calls": self.decode_calls,
+            "decode_hits": self.decode_hits,
+        }
+
+
 class WireWrapped:
     """Wrap a node algorithm so all its traffic is serialized bits."""
 
-    def __init__(self, inner: NodeAlgorithm):
+    def __init__(self, inner: NodeAlgorithm, plane: Optional[MessagePlane] = None):
         self._inner = inner
         self.bits_sent = 0
+        if plane is not None:
+            self._encode: Callable[[Any], Bits] = plane.encode
+            self._decode: Callable[[Bits], Any] = plane.decode
+        else:
+            self._encode = _encode_message
+            self._decode = _decode_message
 
     def setup(self, ctx: NodeContext) -> None:
         self._inner.setup(ctx)
@@ -63,19 +205,21 @@ class WireWrapped:
     def compose(self, ctx: NodeContext):
         out = self._inner.compose(ctx) or {}
         encoded = {}
+        encode = self._encode
         for port, msg in out.items():
-            wire = _encode_message(msg)
+            wire = encode(msg)
             self.bits_sent += len(wire)
             encoded[port] = wire
         return encoded
 
     def deliver(self, ctx: NodeContext, inbox: List[Optional[Any]]) -> None:
         decoded: List[Optional[Any]] = []
+        decode = self._decode
         for msg in inbox:
             if msg is None:
                 decoded.append(None)
             elif isinstance(msg, Bits):
-                decoded.append(_decode_message(msg))
+                decoded.append(decode(msg))
             else:
                 raise SimulationError(
                     "strict mode received a non-Bits message: the peer is "
@@ -84,10 +228,45 @@ class WireWrapped:
         self._inner.deliver(ctx, decoded)
 
 
-def wire_wrapped(factory: Callable[[], NodeAlgorithm]) -> Callable[[], WireWrapped]:
-    """Factory adapter: ``run_sync(g, wire_wrapped(ElectAlgorithm), ...)``."""
+class _SeedWireWrapped(WireWrapped):
+    """The pre-optimization byte path: per-message full-DAG encode and
+    per-message decode, bypassing every codec cache.  Exists so the
+    bench can time the seed implementation in-run and so the parity
+    tests can pin the fast path byte-identical to it."""
+
+    def __init__(self, inner: NodeAlgorithm):
+        super().__init__(inner)
+        self._encode = _encode_message_seed
+        self._decode = _decode_message_seed
+
+
+def wire_wrapped(
+    factory: Callable[[], NodeAlgorithm],
+    plane: Optional[MessagePlane] = None,
+) -> Callable[[], WireWrapped]:
+    """Factory adapter: ``run_sync(g, wire_wrapped(ElectAlgorithm), ...)``.
+
+    All nodes built by the returned factory share one message plane, so
+    a payload sent (or received) by many nodes in a round is encoded
+    (decoded) once.  Pass ``plane`` to share a plane across runs or to
+    read its hit counters afterwards."""
+    if plane is None:
+        plane = MessagePlane()
+    shared = plane
 
     def make() -> WireWrapped:
-        return WireWrapped(factory())
+        return WireWrapped(factory(), shared)
+
+    return make
+
+
+def seed_wire_wrapped(
+    factory: Callable[[], NodeAlgorithm],
+) -> Callable[[], WireWrapped]:
+    """Factory adapter for the seed (uncached, per-message) byte path —
+    the strict bench's in-run ``speedup_vs_seed`` reference."""
+
+    def make() -> WireWrapped:
+        return _SeedWireWrapped(factory())
 
     return make

@@ -105,11 +105,24 @@ class View:
         return self.children[port][0]
 
     def tree_size(self) -> int:
-        """Number of nodes of the *expanded* view tree (can be exponential
-        in depth; use for diagnostics on small views only)."""
-        if not self.children:
-            return 1
-        return 1 + sum(child.tree_size() for _, child in self.children)
+        """Number of nodes of the *expanded* view tree (the count can be
+        exponential in depth; the computation is one pass over the
+        hash-consed DAG with an explicit stack, so it is safe on views
+        whose depth exceeds the interpreter recursion limit)."""
+        sizes: Dict["View", int] = {}
+        stack = [self]
+        while stack:
+            v = stack[-1]
+            if v in sizes:
+                stack.pop()
+                continue
+            pending = [c for _, c in v.children if c not in sizes]
+            if pending:
+                stack.extend(pending)
+                continue
+            sizes[v] = 1 + sum(sizes[c] for _, c in v.children)
+            stack.pop()
+        return sizes[self]
 
 
 # ----------------------------------------------------------------------
@@ -216,13 +229,16 @@ def view_nested_tuple(view: View) -> tuple:
 # ----------------------------------------------------------------------
 def clear_view_caches() -> None:
     """Drop the global intern and truncation tables, the per-depth view
-    registry, and the order rank tables (which key on view identity).
-    Existing View objects remain valid but newly built structurally-equal
-    views will be fresh objects — so never mix views from before and
-    after a clear."""
+    registry, the order rank tables, the wire-codec caches and every live
+    strict-mode message plane (all of which key on view identity or hold
+    interned views).  Existing View objects remain valid but newly built
+    structurally-equal views will be fresh objects — so never mix views
+    from before and after a clear."""
+    from repro.sim import strict as _strict
     from repro.sim import trace as _trace
     from repro.views import encoding as _encoding
     from repro.views import order as _order
+    from repro.views import wire as _wire
 
     _INTERN.clear()
     _TRUNCATE_CACHE.clear()
@@ -233,6 +249,11 @@ def clear_view_caches() -> None:
     # is dropped those ids can be recycled by fresh views, and a stale
     # entry would silently misprice a different view's transmission cost
     _trace._DAG_SIZE_CACHE.clear()
+    # same identity argument for the wire codec's encode/sub-encoding
+    # caches, and the decode cache and message planes hold interned views
+    # that must never leak into a run started after the clear
+    _wire._clear_wire_caches()
+    _strict._clear_message_planes()
 
 
 def intern_table_size() -> int:

@@ -12,11 +12,25 @@ Encoding: the DAG's distinct subviews in a canonical bottom-up order
 ``(deg,)`` or ``(deg, (q_i, ref_i)_i)`` with back-references into the
 record list.  Size is Theta(sum over records of (1 + deg) * log) — the
 succinct-view cost that :mod:`repro.sim.trace` charges.
+
+The codec is memoized (the strict-wire fast path): views are globally
+interned and immutable and the encoder is deterministic, so
+``encode_view_wire`` caches on view identity and ``decode_view_wire`` on
+the exact wire string — a hit returns the byte-identical objects the
+uncached path produces, which is what keeps strict-mode records (and
+``WireWrapped.bits_sent``) unchanged.  First encodings are built
+*level-incrementally*: in COM traffic a depth-l+1 view's children are
+exactly the depth-l views that crossed the wire one round earlier, and
+their cached sub-encodings splice into the parent's record list instead
+of re-walking the full DAG per message.  The unmemoized single-walk
+encoder survives as :func:`_encode_view_wire_uncached`, the executable
+specification the fast path is differentially tested against.  All three
+caches are dropped by :func:`repro.views.clear_view_caches`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.coding.bitstring import Bits
 from repro.coding.concat import concat_bits, decode_concat
@@ -24,21 +38,145 @@ from repro.coding.integers import decode_uint, encode_uint
 from repro.errors import CodingError
 from repro.views.view import View
 
+# ----------------------------------------------------------------------
+# codec caches (all dropped together with the intern table: an id cannot
+# be recycled while the intern table strongly holds its view, and the
+# decode cache's values are interned views, stale after any clear)
+# ----------------------------------------------------------------------
+#: id(view) -> its full wire encoding.
+_ENCODE_CACHE: Dict[int, Bits] = {}
+#: wire '0'/'1' string -> the decoded (interned) view.
+_DECODE_CACHE: Dict[str, View] = {}
+#: id(view) -> (DAG order, doubled record strings): the sub-encoding the
+#: level-incremental builder reuses when the view recurs as a child.
+_SUBENC_CACHE: Dict[int, Tuple[Tuple[View, ...], Tuple[str, ...]]] = {}
+
+#: concat_bits' component separator; record strings are stored already
+#: digit-doubled so the outer concat is a plain join.
+_SEPARATOR = "01"
+
+
+def _clear_wire_caches() -> None:
+    """Drop the codec caches (called by ``clear_view_caches``)."""
+    _ENCODE_CACHE.clear()
+    _DECODE_CACHE.clear()
+    _SUBENC_CACHE.clear()
+
+
+def _record_str(v: View, index: Dict[View, int]) -> str:
+    """The raw (undoubled) record of ``v`` with child references resolved
+    through ``index`` — exactly the per-record bytes of the seed path."""
+    fields = [encode_uint(v.degree)]
+    for q, child in v.children:
+        fields.append(encode_uint(q))
+        fields.append(encode_uint(index[child]))
+    return concat_bits(fields).as_str()
+
+
+def _double(s: str) -> str:
+    # concat_bits' digit doubling (replace never overlaps: the first
+    # pass only creates '0's from '0's, the second only touches '1's)
+    return s.replace("0", "00").replace("1", "11")
+
 
 def encode_view_wire(view: View) -> Bits:
-    """Serialize a view's DAG; inverse of :func:`decode_view_wire`."""
+    """Serialize a view's DAG; inverse of :func:`decode_view_wire`.
+
+    Memoized and level-incremental — see the module docstring.  The
+    result is byte-identical to :func:`_encode_view_wire_uncached`.
+    """
+    wire = _ENCODE_CACHE.get(id(view))
+    if wire is not None:
+        return wire
+
     order: List[View] = []
+    drecords: List[str] = []
     index: Dict[View, int] = {}
 
-    def visit(v: View) -> None:
-        if v in index:
-            return
-        for _, child in v.children:
-            visit(child)
+    def emit(v: View) -> None:
+        # v's children are all indexed (postorder), so its record bytes
+        # are final; v itself takes the next free reference
+        drecords.append(_double(_record_str(v, index)))
         index[v] = len(order)
         order.append(v)
 
-    visit(view)
+    def absorb(u: View) -> None:
+        """Append the not-yet-indexed part of ``u``'s DAG in the order
+        the seed path's memoized postorder DFS would visit it."""
+        if u in index:
+            return
+        stack = [u]
+        while stack:
+            v = stack[-1]
+            if v in index:
+                stack.pop()
+                continue
+            sub = _SUBENC_CACHE.get(id(v))
+            if sub is not None:
+                sorder, sdrecords = sub
+                if not index:
+                    # fresh build: the cached index space coincides with
+                    # ours, so the record bytes splice in verbatim
+                    for i, w in enumerate(sorder):
+                        index[w] = i
+                    order.extend(sorder)
+                    drecords.extend(sdrecords)
+                else:
+                    # the cached order restricted to unseen views is the
+                    # DFS completion order of exactly those views (a
+                    # pruned subview has all descendants indexed before
+                    # it), so only the references need remapping
+                    for w in sorder:
+                        if w not in index:
+                            emit(w)
+                stack.pop()
+                continue
+            pending = [c for _, c in v.children if c not in index]
+            if pending:
+                pending.reverse()  # leftmost child completes first
+                stack.extend(pending)
+                continue
+            emit(v)
+            stack.pop()
+
+    for _, child in view.children:
+        absorb(child)
+    emit(view)
+
+    wire = Bits._unsafe(_SEPARATOR.join(drecords))
+    _SUBENC_CACHE[id(view)] = (tuple(order), tuple(drecords))
+    _ENCODE_CACHE[id(view)] = wire
+    # the canonical encoding decodes to this very object (decoding
+    # re-interns), so the receiving side's first lookup is already a hit
+    _DECODE_CACHE[wire.as_str()] = view
+    return wire
+
+
+def _encode_view_wire_uncached(view: View) -> Bits:
+    """The seed encoder: one full bottom-up DAG walk per call, no caches.
+
+    Kept as the executable specification the memoized fast path is
+    differentially tested against, and as the in-run reference the
+    strict bench's ``speedup_vs_seed`` is measured on.  The walk is an
+    explicit stack: view depth approaches the interpreter recursion
+    limit on path/ring families where stabilization depth is Theta(n).
+    """
+    order: List[View] = []
+    index: Dict[View, int] = {}
+    stack = [view]
+    while stack:
+        v = stack[-1]
+        if v in index:
+            stack.pop()
+            continue
+        pending = [c for _, c in v.children if c not in index]
+        if pending:
+            pending.reverse()
+            stack.extend(pending)
+            continue
+        index[v] = len(order)
+        order.append(v)
+        stack.pop()
     records: List[Bits] = []
     for v in order:
         fields = [encode_uint(v.degree)]
@@ -52,7 +190,23 @@ def encode_view_wire(view: View) -> Bits:
 def decode_view_wire(bits: Bits) -> View:
     """Decode a wire-format view back into the (global) intern table:
     decoding a view equal to a locally computed one yields the *same*
-    object."""
+    object.
+
+    Memoized on the exact wire string, so each distinct bitstring is
+    parsed once per cache lifetime no matter how many nodes receive it.
+    """
+    s = bits.as_str()
+    view = _DECODE_CACHE.get(s)
+    if view is not None:
+        return view
+    view = _decode_view_wire_uncached(bits)
+    _DECODE_CACHE[s] = view
+    return view
+
+
+def _decode_view_wire_uncached(bits: Bits) -> View:
+    """The seed decoder: parse every record (fast-path twin of
+    :func:`decode_view_wire`; same errors, same interned result)."""
     records = decode_concat(bits)
     if not records:
         raise CodingError("empty view wire format")

@@ -24,6 +24,7 @@ from repro.views import (
 from repro.views import encoding as encoding_mod
 from repro.views import order as order_mod
 from repro.views import view as view_mod
+from repro.views import wire as wire_mod
 from repro.views.view import intern_table_size
 
 
@@ -50,12 +51,18 @@ def test_clear_view_caches_frees_every_table():
     other = views_of_graph(hk_graph(4), 3)[0]
     assert view_compare(views[0], other) != 0
     encode_b1(views_of_graph(g, 1)[0])
+    from repro.views.wire import encode_view_wire
+
+    encode_view_wire(views[0])
     assert view_mod._INTERN
     assert view_mod._TRUNCATE_CACHE
     assert view_mod._BY_DEPTH
     assert order_mod._RANK
     assert order_mod._RANKED_COUNT
     assert encoding_mod._B1_CACHE
+    assert wire_mod._ENCODE_CACHE
+    assert wire_mod._DECODE_CACHE
+    assert wire_mod._SUBENC_CACHE
 
     clear_view_caches()
     assert intern_table_size() == 0
@@ -65,6 +72,28 @@ def test_clear_view_caches_frees_every_table():
     assert not order_mod._RANK
     assert not order_mod._RANKED_COUNT
     assert not encoding_mod._B1_CACHE
+    assert not wire_mod._ENCODE_CACHE
+    assert not wire_mod._DECODE_CACHE
+    assert not wire_mod._SUBENC_CACHE
+
+
+def test_clear_drops_live_message_planes():
+    """Strict-mode message planes hold interned views keyed on identity;
+    a plane surviving a clear would hand stale objects into a fresh run."""
+    from repro.core import compute_advice
+    from repro.core.elect import ElectAlgorithm
+    from repro.graphs import lollipop
+    from repro.sim import MessagePlane, run_sync, wire_wrapped
+
+    clear_view_caches()
+    g = lollipop(4, 3)
+    bundle = compute_advice(g)
+    plane = MessagePlane()
+    run_sync(g, wire_wrapped(ElectAlgorithm, plane), advice=bundle.bits)
+    assert plane._encode_cache and plane._decode_cache
+    clear_view_caches()
+    assert not plane._encode_cache
+    assert not plane._decode_cache
 
 
 def test_clear_drops_the_tracer_dag_size_cache():

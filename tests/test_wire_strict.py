@@ -11,9 +11,24 @@ from repro.errors import CodingError, SimulationError
 from repro.coding import Bits
 from repro.graphs import cycle_with_leader_gadget, lollipop, random_connected_graph, ring
 from repro.sim import run_sync
-from repro.sim.strict import WireWrapped, wire_wrapped
-from repro.views import election_index, is_feasible, views_of_graph
-from repro.views.wire import decode_view_wire, encode_view_wire
+from repro.sim.strict import (
+    MessagePlane,
+    WireWrapped,
+    seed_wire_wrapped,
+    wire_wrapped,
+)
+from repro.views import (
+    clear_view_caches,
+    election_index,
+    is_feasible,
+    view_levels,
+    views_of_graph,
+)
+from repro.views.wire import (
+    _encode_view_wire_uncached,
+    decode_view_wire,
+    encode_view_wire,
+)
 
 
 class TestWireFormat:
@@ -106,6 +121,87 @@ class TestStrictExecution:
 
         with pytest.raises(SimulationError):
             run_sync(ring(4), wire_wrapped(SendsInt))
+
+    def test_deep_views_do_not_recurse(self):
+        """Regression: the codec and ``tree_size`` used to be recursive
+        and hit the interpreter recursion limit on path/ring families
+        where view depth is Theta(n).  Depth 2000 must work."""
+        clear_view_caches()
+        deep = None
+        for level in view_levels(ring(4), max_depth=2000):
+            deep = level[0]
+        assert deep.depth == 2000
+        fast = encode_view_wire(deep)
+        assert fast.as_str() == _encode_view_wire_uncached(deep).as_str()
+        assert decode_view_wire(fast) is deep
+        assert deep.tree_size() > 0
+
+    def test_bits_sent_exact_under_codec_caches(self):
+        """The tentpole's exactness pin: a cached (fast) strict run and a
+        seed (uncached, per-message) strict run must agree on every
+        observable — outputs, rounds, per-round message counts and each
+        node's ``bits_sent`` — because every cache hit returns the
+        byte-identical wire the seed path would build."""
+        for g in (cycle_with_leader_gadget(6), lollipop(5, 4)):
+            bundle = compute_advice(g)
+
+            def run_capture(make):
+                instances = []
+
+                def factory():
+                    a = make()
+                    instances.append(a)
+                    return a
+
+                result = run_sync(g, factory, advice=bundle.bits)
+                return result, [a.bits_sent for a in instances]
+
+            clear_view_caches()
+            fast, fast_bits = run_capture(wire_wrapped(ElectAlgorithm))
+            clear_view_caches()
+            seed, seed_bits = run_capture(seed_wire_wrapped(ElectAlgorithm))
+            assert fast.outputs == seed.outputs
+            assert fast.output_round == seed.output_round
+            assert fast.rounds == seed.rounds
+            assert fast.total_messages == seed.total_messages
+            assert fast.per_round_messages == seed.per_round_messages
+            assert fast_bits == seed_bits
+
+    def test_message_plane_dedups_and_counts(self):
+        """All nodes of a run share one plane; repeated (port, view)
+        messages and repeated wire strings must hit its caches, and the
+        counters must account for every codec call."""
+        g = lollipop(5, 4)
+        bundle = compute_advice(g)
+        clear_view_caches()
+        plane = MessagePlane()
+        result = run_sync(
+            g, wire_wrapped(ElectAlgorithm, plane), advice=bundle.bits
+        )
+        stats = plane.stats()
+        # every sent message was encoded through the plane and every
+        # received one decoded through it
+        assert stats["encode_calls"] == result.total_messages
+        assert stats["decode_calls"] == result.total_messages
+        # dedup must actually fire: a node's view is sent through several
+        # ports and received by several neighbors each round
+        assert 0 < stats["encode_hits"] < stats["encode_calls"]
+        assert 0 < stats["decode_hits"] < stats["decode_calls"]
+
+    def test_message_plane_cleared_with_view_caches(self):
+        """A plane surviving ``clear_view_caches`` would serve interned
+        views from before the clear — the lifecycle contract forbids
+        mixing those with fresh ones."""
+        g = lollipop(4, 3)
+        bundle = compute_advice(g)
+        clear_view_caches()
+        plane = MessagePlane()
+        run_sync(g, wire_wrapped(ElectAlgorithm, plane), advice=bundle.bits)
+        assert plane._encode_cache and plane._decode_cache
+        clear_view_caches()
+        assert not plane._encode_cache
+        assert not plane._decode_cache
+        assert not plane._doubled_view
 
     def test_mixed_peers_rejected(self):
         """A strict node receiving raw (non-Bits) traffic must complain."""
