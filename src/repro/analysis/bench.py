@@ -32,6 +32,7 @@ caches cleared before every repeat that touches them.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -76,10 +77,36 @@ def env_fingerprint() -> Dict[str, Any]:
     }
 
 
+def _gc_totals() -> Tuple[int, int]:
+    """Cumulative ``(collections, collected)`` across all GC generations."""
+    stats = gc.get_stats()
+    return (
+        sum(s.get("collections", 0) for s in stats),
+        sum(s.get("collected", 0) for s in stats),
+    )
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """The process's high-water resident set in KB (None off POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS
+    return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+
+
 def _time_case(
     fn: Callable[[], Any], repeats: int, clear_caches: bool = False
-) -> Tuple[float, int]:
-    """Min wall-clock over ``repeats`` runs of ``fn``."""
+) -> Tuple[float, int, Dict[str, Any]]:
+    """Min wall-clock over ``repeats`` runs of ``fn``, plus the resource
+    counters around the loop: ``peak_rss_kb`` is the process-lifetime
+    high-water mark sampled after the case (monotone across a scenario,
+    so the first case whose cell jumps is the one that grew the heap),
+    and the ``gc_*`` deltas are the collector work the timed loop
+    triggered."""
+    gc_collections0, gc_collected0 = _gc_totals()
     best = float("inf")
     for _ in range(repeats):
         if clear_caches:
@@ -89,7 +116,13 @@ def _time_case(
         t0 = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - t0)
-    return best, repeats
+    gc_collections1, gc_collected1 = _gc_totals()
+    resources = {
+        "peak_rss_kb": _peak_rss_kb(),
+        "gc_collections": gc_collections1 - gc_collections0,
+        "gc_collected": gc_collected1 - gc_collected0,
+    }
+    return best, repeats, resources
 
 
 # ----------------------------------------------------------------------
@@ -122,9 +155,17 @@ def _scenario_refinement(quick: bool) -> List[Case]:
     cases: List[Case] = []
     for case_name, build in specs:
         g = build()
-        seconds, reps = _time_case(lambda: stable_partition(g), repeats)
+        seconds, reps, resources = _time_case(
+            lambda: stable_partition(g), repeats
+        )
         cases.append(
-            {"case": case_name, "seconds": seconds, "repeats": reps, "n": g.n}
+            {
+                "case": case_name,
+                "seconds": seconds,
+                "repeats": reps,
+                "n": g.n,
+                **resources,
+            }
         )
     return cases
 
@@ -179,7 +220,7 @@ def _scenario_sweep(quick: bool) -> List[Case]:
         ("random-trees-index", "index", index_params, False),
         ("random-trees-elect", "elect", elect_params, True),
     ):
-        seconds, reps = _time_case(
+        seconds, reps, resources = _time_case(
             run_family(task, params, feasible_only), repeats, clear_caches=True
         )
         cases.append(
@@ -188,6 +229,7 @@ def _scenario_sweep(quick: bool) -> List[Case]:
                 "seconds": seconds,
                 "repeats": reps,
                 "count": params["count"],
+                **resources,
             }
         )
     return cases
@@ -324,8 +366,8 @@ def _scenario_strict(quick: bool) -> List[Case]:
             if len(result.outputs) != g.n:
                 raise ReproError("strict scenario lost node outputs")
 
-        seconds, reps = _time_case(run, repeats, clear_caches=True)
-        seed_seconds, _ = _time_case(run_seed, repeats, clear_caches=True)
+        seconds, reps, resources = _time_case(run, repeats, clear_caches=True)
+        seed_seconds, _, _ = _time_case(run_seed, repeats, clear_caches=True)
         case: Case = {
             "case": case_name,
             "seconds": seconds,
@@ -337,6 +379,7 @@ def _scenario_strict(quick: bool) -> List[Case]:
             "speedup_vs_seed": (
                 seed_seconds / seconds if seconds > 0 else None
             ),
+            **resources,
         }
         case.update(stats)
         cases.append(case)
@@ -401,10 +444,10 @@ def _scenario_elect_orbit(quick: bool) -> List[Case]:
                 f"elect-orbit scenario: collapsed and per-node probes "
                 f"disagree on {case_name} — refusing to time a broken path"
             )
-        seconds, reps = _time_case(
+        seconds, reps, resources = _time_case(
             lambda: run_view_probe(g, depth), repeats, clear_caches=True
         )
-        pernode_seconds, _ = _time_case(
+        pernode_seconds, _, _ = _time_case(
             lambda: run_view_probe(g, depth, collapsed=False),
             repeats,
             clear_caches=True,
@@ -422,6 +465,7 @@ def _scenario_elect_orbit(quick: bool) -> List[Case]:
                 "speedup_vs_pernode": (
                     pernode_seconds / seconds if seconds > 0 else None
                 ),
+                **resources,
             }
         )
     return cases
@@ -447,13 +491,14 @@ def _scenario_conformance(quick: bool) -> List[Case]:
                 if not records:
                     raise ReproError("conformance scenario produced no records")
 
-        seconds, reps = _time_case(run, repeats, clear_caches=True)
+        seconds, reps, resources = _time_case(run, repeats, clear_caches=True)
         cases.append(
             {
                 "case": f"{family}-x{per_family}",
                 "seconds": seconds,
                 "repeats": reps,
                 "entries": per_family,
+                **resources,
             }
         )
     return cases
@@ -541,7 +586,7 @@ def _scenario_service(quick: bool) -> List[Case]:
         for temp, make_core in (("cold", cold_core), ("warm", warm_core)):
             core = make_core()  # built once: cold never caches, warm is
             # pre-populated, so repeats measure a steady state either way
-            seconds, reps = _time_case(
+            seconds, reps, resources = _time_case(
                 lambda: run(core), repeats, clear_caches=True
             )
             case: Case = {
@@ -549,6 +594,7 @@ def _scenario_service(quick: bool) -> List[Case]:
                 "seconds": seconds,
                 "repeats": reps,
                 "queries": len(queries),
+                **resources,
             }
             if temp == "cold":
                 cold_seconds[mode] = seconds
@@ -680,6 +726,7 @@ def _scenario_service_load(quick: bool) -> List[Case]:
             for mode, n_shards, cold, warm in modes:
                 core = (cold, warm)[temp_index]
                 for clients in concurrencies:
+                    gc_collections0, gc_collected0 = _gc_totals()
                     best: Optional[Tuple[float, List[float]]] = None
                     for _ in range(repeats):
                         fresh_payloads()
@@ -687,6 +734,7 @@ def _scenario_service_load(quick: bool) -> List[Case]:
                         if best is None or result[0] < best[0]:
                             best = result
                     assert best is not None
+                    gc_collections1, gc_collected1 = _gc_totals()
                     wall, latencies = best
                     case: Case = {
                         "case": f"{temp}-{mode}-c{clients}",
@@ -698,6 +746,9 @@ def _scenario_service_load(quick: bool) -> List[Case]:
                         "qps": len(graphs) / wall if wall > 0 else 0.0,
                         "p50_ms": percentile_ms(latencies, 0.50),
                         "p99_ms": percentile_ms(latencies, 0.99),
+                        "peak_rss_kb": _peak_rss_kb(),
+                        "gc_collections": gc_collections1 - gc_collections0,
+                        "gc_collected": gc_collected1 - gc_collected0,
                     }
                     if mode == "inproc":
                         inproc_seconds[(temp, clients)] = wall
@@ -779,14 +830,15 @@ def _scenario_warehouse(quick: bool) -> List[Case]:
                 "re-stream-warmed cache — refusing to time a broken path"
             )
 
-        restream_seconds, reps = _time_case(restream, repeats)
-        join_seconds, _ = _time_case(join, repeats)
+        restream_seconds, reps, restream_res = _time_case(restream, repeats)
+        join_seconds, _, join_res = _time_case(join, repeats)
         return [
             {
                 "case": f"warm-restream-n{count}",
                 "seconds": restream_seconds,
                 "repeats": reps,
                 "entries": count,
+                **restream_res,
             },
             {
                 "case": f"warm-warehouse-n{count}",
@@ -799,6 +851,7 @@ def _scenario_warehouse(quick: bool) -> List[Case]:
                     if join_seconds > 0
                     else None
                 ),
+                **join_res,
             },
         ]
     finally:

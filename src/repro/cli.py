@@ -43,7 +43,8 @@ Commands
     shared), ``--cache`` persists answers across restarts (JSONL, or a
     warehouse database by extension), ``--warm`` pre-populates from
     batch result stores, and ``--warm-warehouse`` does the same from a
-    results warehouse with one join query.
+    results warehouse with one join query; ``--slow-query-ms MS`` turns
+    on the structured slow-query log (one JSON line per offending query).
 ``warehouse import|export|trend|register|info``
     The indexed sqlite results warehouse (:mod:`repro.warehouse`) under
     sweeps, conformance, the service cache and bench records; the JSONL/
@@ -51,6 +52,15 @@ Commands
 ``query TASK SPEC [--url URL]``
     Client for scripts/CI: POST one graph to a running service and print
     the JSON answer.
+``profile [--trace-json F] [--cprofile F] [--telemetry DB] CMD...``
+    Run any repro command with :mod:`repro.obs` instrumentation enabled:
+    spans and metrics record across every process the command spawns,
+    and can be exported as Chrome trace-event JSON (Perfetto), dumped as
+    cProfile stats, or stored in a results warehouse ``telemetry`` run
+    for ``repro report --trend``.
+``obs export DB --trace-json FILE [--run ID]``
+    Re-export span telemetry stored by ``profile --telemetry`` as Chrome
+    trace-event JSON.
 
 Graph SPECs
 -----------
@@ -591,7 +601,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(f"--shards must be >= 0, got {args.shards}")
     cache = ResultCache(path=args.cache, capacity=args.capacity)
     core = ServiceCore(
-        cache, batch_chunk_size=args.chunk_size, shards=args.shards
+        cache,
+        batch_chunk_size=args.chunk_size,
+        shards=args.shards,
+        slow_query_threshold_s=(
+            args.slow_query_ms / 1000.0
+            if args.slow_query_ms is not None
+            else None
+        ),
     )
     if cache.persisted:
         print(f"cache: {cache.persisted} persisted entries loaded from "
@@ -759,6 +776,96 @@ def _cmd_warehouse(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    cmd = list(args.cmd)
+    if cmd[:1] == ["--"]:  # `repro profile -- sweep --workers 4`
+        cmd = cmd[1:]
+    if not cmd:
+        raise ReproError(
+            "profile needs a repro command to run, e.g. "
+            "`repro profile elect ring:8`"
+        )
+    if cmd[0] == "profile":
+        raise ReproError("profile cannot wrap itself")
+
+    profiler = None
+    if args.cprofile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    obs.reset()
+    obs.enable()
+    try:
+        if profiler is not None:
+            profiler.enable()
+        try:
+            code = main(cmd)
+        finally:
+            if profiler is not None:
+                profiler.disable()
+        events = obs.trace_events()
+        snapshot = obs.take_snapshot()
+    finally:
+        obs.disable()
+
+    log = sys.stderr  # keep the wrapped command's stdout clean
+    print(
+        f"profile: {len(events)} span(s) from `repro {' '.join(cmd)}` "
+        f"(exit {code})",
+        file=log,
+    )
+    if args.trace_json:
+        count = obs.write_chrome_trace(args.trace_json, events)
+        print(
+            f"profile: {count} trace event(s) -> {args.trace_json} "
+            f"(load in Perfetto / chrome://tracing)",
+            file=log,
+        )
+    if args.cprofile:
+        assert profiler is not None
+        profiler.dump_stats(args.cprofile)
+        print(
+            f"profile: cProfile stats -> {args.cprofile} "
+            f"(inspect with `python -m pstats {args.cprofile}`)",
+            file=log,
+        )
+    if args.telemetry:
+        from repro.warehouse import Warehouse
+
+        with Warehouse(args.telemetry) as wh:
+            run_id = wh.begin_run("profile", args.label)
+            rows = wh.append_telemetry(
+                run_id, snapshot=snapshot, events=events
+            )
+            wh.finish_run(run_id)
+        print(
+            f"profile: {rows} telemetry row(s) -> {args.telemetry} "
+            f"(run {run_id}; chart with `repro report --trend`)",
+            file=log,
+        )
+    return code
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace
+    from repro.warehouse import Warehouse
+
+    with Warehouse(args.db) as wh:
+        rows = wh.telemetry_rows(run_id=args.run, kind="span")
+    events = [row["value"] for row in rows]
+    if not events:
+        where = f"run {args.run} of {args.db}" if args.run else args.db
+        raise ReproError(
+            f"no span telemetry in {where}; record some with "
+            f"`repro profile --telemetry {args.db} CMD...`"
+        )
+    count = write_chrome_trace(args.trace_json, events)
+    print(f"{count} trace event(s) written to {args.trace_json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -977,6 +1084,12 @@ def build_parser() -> argparse.ArgumentParser:
         "own view-cache universe while the result cache (and any warm "
         "tier) stays shared in the serving process; 0 computes in-process",
     )
+    p.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="structured slow-query log: queries at or over this latency "
+        "emit one JSON line to stderr (task, fingerprint, cache tier, "
+        "per-phase timings)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1078,6 +1191,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pn.add_argument("db")
     pn.set_defaults(func=_cmd_warehouse)
+
+    p = sub.add_parser(
+        "profile",
+        help="run any repro command with obs instrumentation on: spans + "
+        "metrics, optional Chrome trace / cProfile / warehouse telemetry",
+    )
+    p.add_argument(
+        "--trace-json", default=None, metavar="FILE",
+        help="write the recorded spans as Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    p.add_argument(
+        "--cprofile", default=None, metavar="FILE",
+        help="also run the command under cProfile and dump stats to FILE",
+    )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DB",
+        help="store the metric snapshot and spans in this results "
+        "warehouse under one run (charted by `repro report --trend`)",
+    )
+    p.add_argument(
+        "--label", default=None,
+        help="with --telemetry: the provenance run label",
+    )
+    p.add_argument(
+        "cmd", nargs=argparse.REMAINDER, metavar="CMD...",
+        help="the repro command line to run, e.g. `elect ring:8` "
+        "(prefix with -- if it starts with a dash)",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "obs", help="observability utilities (stored telemetry export)"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    px = obs_sub.add_parser(
+        "export",
+        help="export warehouse span telemetry as Chrome trace-event JSON",
+    )
+    px.add_argument(
+        "db", help="warehouse holding telemetry rows "
+        "(`repro profile --telemetry DB CMD...`)",
+    )
+    px.add_argument(
+        "--trace-json", required=True, metavar="FILE",
+        help="output file (loadable in Perfetto / chrome://tracing)",
+    )
+    px.add_argument(
+        "--run", type=int, default=None,
+        help="restrict to this run id (default: spans from every run)",
+    )
+    px.set_defaults(func=_cmd_obs)
 
     return parser
 

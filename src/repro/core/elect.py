@@ -23,6 +23,7 @@ from repro.core.labels import retrieve_label
 from repro.core.verify import ElectionOutcome, verify_election
 from repro.errors import AdviceError
 from repro.graphs.port_graph import PortGraph
+from repro.obs import core as obs
 from repro.sim.com import ViewAccumulator
 from repro.sim.local_model import NodeAlgorithm, NodeContext, RunResult, run_sync
 
@@ -93,23 +94,31 @@ def run_elect(
     the leader is the oracle's label-1 node and the election time is
     exactly phi.
     """
-    if bundle is None:
-        bundle = compute_advice(g)
-    result = run_sync(
-        g,
-        ElectAlgorithm,
-        advice=bundle.bits,
-        max_rounds=bundle.phi + 2,
-        paranoid=paranoid,
-    )
-    outcome = verify_election(g, result.outputs)
-    if outcome.leader != bundle.root:
-        raise AdviceError(
-            f"elected node {outcome.leader} differs from the oracle's root "
-            f"{bundle.root}"
+    with obs.span("elect.run", nodes=g.n) as sp:
+        if bundle is None:
+            with obs.span("elect.advice"):
+                bundle = compute_advice(g)
+        # run_sync opens its own child span (sim.run) carrying the
+        # per-round message/DAG accounting
+        result = run_sync(
+            g,
+            ElectAlgorithm,
+            advice=bundle.bits,
+            max_rounds=bundle.phi + 2,
+            paranoid=paranoid,
         )
-    if result.election_time != bundle.phi:
-        raise AdviceError(
-            f"election time {result.election_time} != phi = {bundle.phi}"
-        )
-    return ElectRunRecord.from_run(g, bundle, result, outcome)
+        with obs.span("elect.verify"):
+            outcome = verify_election(g, result.outputs)
+        if sp.recording:
+            sp.set("phi", bundle.phi)
+            sp.set("advice_bits", bundle.size_bits)
+        if outcome.leader != bundle.root:
+            raise AdviceError(
+                f"elected node {outcome.leader} differs from the oracle's "
+                f"root {bundle.root}"
+            )
+        if result.election_time != bundle.phi:
+            raise AdviceError(
+                f"election time {result.election_time} != phi = {bundle.phi}"
+            )
+        return ElectRunRecord.from_run(g, bundle, result, outcome)

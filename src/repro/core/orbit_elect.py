@@ -60,6 +60,7 @@ from repro.coding.bitstring import Bits
 from repro.errors import AlgorithmError, SimulationError
 from repro.graphs.canonical import rooted_certificate
 from repro.graphs.port_graph import PortGraph
+from repro.obs import core as obs
 from repro.sim.com import ViewAccumulator
 from repro.sim.local_model import (
     NodeAlgorithm,
@@ -415,24 +416,39 @@ def run_elect_orbit(
     from repro.core.verify import verify_election
     from repro.errors import AdviceError
 
-    if bundle is None:
-        bundle = compute_advice(g)
-    result = run_orbit(
-        g,
-        ElectAlgorithm,
-        advice=bundle.bits,
-        max_rounds=bundle.phi + 2,
-        paranoid=paranoid,
-        orbits=orbits,
-    )
-    outcome = verify_election(g, result.outputs)
-    if outcome.leader != bundle.root:
-        raise AdviceError(
-            f"elected node {outcome.leader} differs from the oracle's root "
-            f"{bundle.root}"
-        )
-    if result.election_time != bundle.phi:
-        raise AdviceError(
-            f"election time {result.election_time} != phi = {bundle.phi}"
-        )
-    return ElectRunRecord.from_run(g, bundle, result, outcome)
+    with obs.span("elect.orbit", nodes=g.n) as sp:
+        if bundle is None:
+            with obs.span("elect.advice"):
+                bundle = compute_advice(g)
+        with obs.span("elect.simulate") as sim_sp:
+            result = run_orbit(
+                g,
+                ElectAlgorithm,
+                advice=bundle.bits,
+                max_rounds=bundle.phi + 2,
+                paranoid=paranoid,
+                orbits=orbits,
+            )
+            if sim_sp.recording:
+                sim_sp.set("rounds", result.rounds)
+                sim_sp.set("total_messages", result.total_messages)
+                sim_sp.set(
+                    "per_round_messages", list(result.per_round_messages)
+                )
+                if orbits is not None:
+                    sim_sp.set("num_orbits", orbits.num_orbits)
+        with obs.span("elect.verify"):
+            outcome = verify_election(g, result.outputs)
+        if sp.recording:
+            sp.set("phi", bundle.phi)
+            sp.set("advice_bits", bundle.size_bits)
+        if outcome.leader != bundle.root:
+            raise AdviceError(
+                f"elected node {outcome.leader} differs from the oracle's "
+                f"root {bundle.root}"
+            )
+        if result.election_time != bundle.phi:
+            raise AdviceError(
+                f"election time {result.election_time} != phi = {bundle.phi}"
+            )
+        return ElectRunRecord.from_run(g, bundle, result, outcome)

@@ -42,19 +42,22 @@ import math
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.records import Record
 from repro.engine.tasks import get_task
 from repro.errors import EngineError
 from repro.graphs.port_graph import PortGraph
 from repro.graphs.serialization import from_json, to_json
+from repro.obs import core as obs
 
 # (corpus position, name, canonical graph JSON — or the graph itself on
 # the serial path, which crosses no process boundary)
 _ChunkItem = Tuple[int, str, object]
-# (task name, chunk, clear_caches flag)
-_ChunkPayload = Tuple[str, List[_ChunkItem], bool]
+# (task name, chunk, clear_caches flag, obs span context or None —
+# the parent's trace position, riding the task envelope so worker spans
+# stitch under the submitting span)
+_ChunkPayload = Tuple[str, List[_ChunkItem], bool, Optional[Dict[str, str]]]
 
 
 @dataclass(frozen=True)
@@ -115,7 +118,9 @@ def chunk_corpus(
     ]
 
 
-def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
+def _run_chunk(
+    payload: _ChunkPayload,
+) -> Tuple[List[Tuple[int, Record]], List[Dict[str, Any]]]:
     """Process one chunk (runs in a worker, or inline when serial): decode
     each graph, apply the task, and drop the process-local view caches so
     the intern table stays bounded by the chunk.
@@ -123,45 +128,58 @@ def _run_chunk(payload: _ChunkPayload) -> List[Tuple[int, Record]]:
     A multi-record task returns a *list* (its record group, summary
     last); the group is flattened in order under the entry's corpus
     position, so downstream sorting — which is stable — keeps groups
-    contiguous and internally ordered."""
-    task_name, chunk, clear_caches = payload
+    contiguous and internally ordered.
+
+    Returns ``(pairs, obs_events)``: when the payload carries a span
+    context the worker's trace events ship back with the records for the
+    parent to :func:`repro.obs.ingest` (empty on the serial path, where
+    spans land in the live buffer directly)."""
+    task_name, chunk, clear_caches, obs_ctx = payload
     task = get_task(task_name)
     out: List[Tuple[int, Record]] = []
-    try:
-        for pos, name, graph_or_json in chunk:
+    with obs.collect_remote(obs_ctx) as collected:
+        with obs.span("engine.chunk", task=task_name, items=len(chunk)):
             try:
-                encoded = isinstance(graph_or_json, str)
-                graph = from_json(graph_or_json) if encoded else graph_or_json
-                result = task(name, graph)
-                if isinstance(result, list):
-                    out.extend((pos, record) for record in result)
-                else:
-                    out.append((pos, result))
-                if not encoded and clear_caches:
-                    # serial fast path: the caller's graph object outlives
-                    # the chunk, so drop the derived CSR arrays and the
-                    # canonical form with the other caches — memory stays
-                    # bounded by the chunk, not the corpus (decoded graphs
-                    # die with the chunk)
-                    graph._csr_cache = None
-                    graph._canon_cache = None
-            except EngineError:
-                raise  # already carries context (and pickles: str args only)
-            except Exception as exc:
-                # wrap before crossing the process boundary: arbitrary
-                # exceptions may not unpickle in the parent (custom
-                # __init__ signatures), and a bare traceback would not say
-                # which corpus entry died
-                raise EngineError(
-                    f"task '{task_name}' failed on corpus entry '{name}' "
-                    f"(position {pos}): {type(exc).__name__}: {exc}"
-                ) from exc
-    finally:
-        if clear_caches:
-            from repro.views.view import clear_view_caches
+                for pos, name, graph_or_json in chunk:
+                    try:
+                        encoded = isinstance(graph_or_json, str)
+                        graph = (
+                            from_json(graph_or_json)
+                            if encoded
+                            else graph_or_json
+                        )
+                        result = task(name, graph)
+                        if isinstance(result, list):
+                            out.extend((pos, record) for record in result)
+                        else:
+                            out.append((pos, result))
+                        if not encoded and clear_caches:
+                            # serial fast path: the caller's graph object
+                            # outlives the chunk, so drop the derived CSR
+                            # arrays and the canonical form with the other
+                            # caches — memory stays bounded by the chunk,
+                            # not the corpus (decoded graphs die with the
+                            # chunk)
+                            graph._csr_cache = None
+                            graph._canon_cache = None
+                    except EngineError:
+                        raise  # already carries context (pickles: str args)
+                    except Exception as exc:
+                        # wrap before crossing the process boundary:
+                        # arbitrary exceptions may not unpickle in the
+                        # parent (custom __init__ signatures), and a bare
+                        # traceback would not say which corpus entry died
+                        raise EngineError(
+                            f"task '{task_name}' failed on corpus entry "
+                            f"'{name}' (position {pos}): "
+                            f"{type(exc).__name__}: {exc}"
+                        ) from exc
+            finally:
+                if clear_caches:
+                    from repro.views.view import clear_view_caches
 
-            clear_view_caches()
-    return out
+                    clear_view_caches()
+    return out, collected.events
 
 
 def run_experiments(
@@ -201,19 +219,27 @@ def run(
     num_chunks = math.ceil(len(corpus) / chunk_size)
     serial = config.workers == 1 or num_chunks == 1
     chunks = chunk_corpus(corpus, chunk_size, encode=not serial)
+    # serial chunks run in-process, where spans land in the live buffer;
+    # parallel chunks carry the submitting span's context in the payload
+    # and ship their events back with the records
+    span_ctx = None if serial else obs.export_context()
     payloads: List[_ChunkPayload] = [
-        (task, chunk, config.clear_caches) for chunk in chunks
+        (task, chunk, config.clear_caches, span_ctx) for chunk in chunks
     ]
 
     if serial:
-        chunk_results = [_run_chunk(p) for p in payloads]
+        chunk_results = [_run_chunk(p)[0] for p in payloads]
     else:
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
         procs = min(config.workers, len(chunks))
         with ctx.Pool(processes=procs) as pool:
-            chunk_results = pool.map(_run_chunk, payloads)
+            replies = pool.map(_run_chunk, payloads)
+        chunk_results = []
+        for pairs, events in replies:
+            chunk_results.append(pairs)
+            obs.ingest(events)
 
     tagged = [pair for chunk in chunk_results for pair in chunk]
     tagged.sort(key=lambda pair: pair[0])

@@ -40,6 +40,7 @@ from repro.engine.records import Record
 from repro.engine.tasks import get_task
 from repro.graphs.port_graph import PortGraph
 from repro.graphs.serialization import to_json
+from repro.obs import core as obs
 
 #: Streaming default chunk size: large enough to amortize per-chunk graph
 #: decode and cache teardown, small enough that one chunk bounds memory.
@@ -72,7 +73,9 @@ def _encode_chunks(
             for offset, (name, g) in enumerate(block)
         ]
         pos += len(block)
-        yield (task, chunk, clear_caches)
+        # the parallel path (encode=True) carries the submitting span's
+        # context across the pool; serial chunks record in-process
+        yield (task, chunk, clear_caches, obs.export_context() if encode else None)
 
 
 def run_stream(
@@ -106,7 +109,7 @@ def run_stream(
 
     if config.workers == 1:
         for payload in payloads:
-            for _, record in _run_chunk(payload):
+            for _, record in _run_chunk(payload)[0]:
                 yield record
         return
 
@@ -114,13 +117,18 @@ def run_stream(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
     window = config.workers * STREAM_WINDOW_PER_WORKER
+
+    def _drain(handle) -> Iterator[Record]:
+        pairs, events = handle.get()
+        obs.ingest(events)
+        for _, record in pairs:
+            yield record
+
     with ctx.Pool(processes=config.workers) as pool:
         pending: deque = deque()
         for payload in payloads:
             pending.append(pool.apply_async(_run_chunk, (payload,)))
             if len(pending) >= window:
-                for _, record in pending.popleft().get():
-                    yield record
+                yield from _drain(pending.popleft())
         while pending:
-            for _, record in pending.popleft().get():
-                yield record
+            yield from _drain(pending.popleft())

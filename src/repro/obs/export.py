@@ -1,0 +1,158 @@
+"""Exporters: Prometheus text exposition and Chrome trace-event JSON.
+
+Both operate on plain JSON-safe data — a :meth:`Registry.snapshot`
+dict and a list of span event dicts — so they work identically on live
+in-process state, on events shipped back from shard/engine workers, and
+on rows replayed out of the warehouse ``telemetry`` table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "render_prometheus",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _label_str(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for k in sorted(labels):
+        key = _LABEL_BAD.sub("_", str(k))
+        val = str(labels[k]).replace("\\", r"\\").replace('"', r"\"")
+        val = val.replace("\n", r"\n")
+        parts.append(f'{key}="{val}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any],
+    extra_counters: Optional[Mapping[str, float]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render a registry snapshot in Prometheus text format 0.0.4.
+
+    ``extra_counters`` lets the HTTP server fold flat service counters
+    (the ``/metrics`` JSON payload's numbers) into the same scrape.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, samples: Iterable[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    if extra_counters:
+        for key in sorted(extra_counters):
+            name = _metric_name(f"{prefix}_{key}")
+            emit(name, "gauge", [f"{name} {_fmt(float(extra_counters[key]))}"])
+
+    for c in snapshot.get("counters", []):
+        name = _metric_name(f"{prefix}_{c['name']}_total")
+        emit(
+            name,
+            "counter",
+            [f"{name}{_label_str(c.get('labels', {}))} {_fmt(c['value'])}"],
+        )
+    for g in snapshot.get("gauges", []):
+        name = _metric_name(f"{prefix}_{g['name']}")
+        emit(
+            name,
+            "gauge",
+            [f"{name}{_label_str(g.get('labels', {}))} {_fmt(g['value'])}"],
+        )
+    for h in snapshot.get("histograms", []):
+        name = _metric_name(f"{prefix}_{h['name']}")
+        labels = h.get("labels", {})
+        samples: List[str] = []
+        cumulative = 0
+        for edge, count in zip(h["buckets"], h["bucket_counts"]):
+            cumulative += count
+            le = dict(labels)
+            le["le"] = _fmt(float(edge))
+            samples.append(f"{name}_bucket{_label_str(le)} {cumulative}")
+        cumulative += h["bucket_counts"][len(h["buckets"])]
+        le = dict(labels)
+        le["le"] = "+Inf"
+        samples.append(f"{name}_bucket{_label_str(le)} {cumulative}")
+        samples.append(f"{name}_sum{_label_str(labels)} {_fmt(h['sum'])}")
+        samples.append(f"{name}_count{_label_str(labels)} {h['count']}")
+        emit(name, "histogram", samples)
+
+    return "\n".join(lines) + "\n"
+
+
+def _json_safe_attr(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def to_chrome_trace(events: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert span event dicts to the Chrome trace-event JSON format.
+
+    Each span becomes one complete event (``ph: "X"``); ``pid``/``tid``
+    come straight off the event, so a stitched cross-process trace lays
+    parent and shard-worker spans out on separate tracks in Perfetto /
+    ``chrome://tracing``.  Timestamps are CLOCK_MONOTONIC microseconds,
+    comparable across the processes of one machine.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for ev in events:
+        args: Dict[str, Any] = {
+            "trace_id": ev.get("trace_id"),
+            "span_id": ev.get("span_id"),
+        }
+        if ev.get("parent_id"):
+            args["parent_id"] = ev["parent_id"]
+        if ev.get("error"):
+            args["error"] = ev["error"]
+        for key, value in (ev.get("attrs") or {}).items():
+            args[key] = _json_safe_attr(value)
+        trace_events.append(
+            {
+                "name": ev.get("name", "?"),
+                "ph": "X",
+                "ts": ev.get("start_us", 0),
+                "dur": ev.get("dur_us", 0),
+                "pid": ev.get("pid", 0),
+                "tid": ev.get("tid", 0),
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, events: Iterable[Mapping[str, Any]]) -> int:
+    """Write events as Chrome trace JSON; returns the event count."""
+    doc = to_chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"))
+    return len(doc["traceEvents"])

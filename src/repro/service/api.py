@@ -63,10 +63,21 @@ In-flight deduplication
 
 from __future__ import annotations
 
+import json
+import sys
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine import EngineConfig, run_stream
 from repro.engine.records import Record
@@ -74,6 +85,7 @@ from repro.engine.tasks import get_task
 from repro.errors import ReproError, ServiceError
 from repro.graphs.canonical import CanonicalForm, canonical_form
 from repro.graphs.port_graph import PortGraph
+from repro.obs import core as obs
 from repro.service.cache import CacheKey, ResultCache, canonical_query_name
 from repro.service.shard import ShardPool
 
@@ -168,17 +180,30 @@ class ServiceCore:
         batch_workers: int = 1,
         orbit_collapse: bool = True,
         shards: int = 0,
+        slow_query_threshold_s: Optional[float] = None,
+        slow_query_sink: Optional[Callable[[str], None]] = None,
     ):
         for task in tasks:
             get_task(task)  # fail fast on unknown engine tasks
         if shards < 0:
             raise ServiceError(f"shards must be >= 0, got {shards}")
+        if slow_query_threshold_s is not None and slow_query_threshold_s < 0:
+            raise ServiceError(
+                "slow_query_threshold_s must be >= 0, got "
+                f"{slow_query_threshold_s}"
+            )
         self.cache = cache if cache is not None else ResultCache()
         self.tasks = tuple(tasks)
         self.orbit_collapse = orbit_collapse
         self.batch_chunk_size = batch_chunk_size
         self.batch_workers = batch_workers
         self.shards = shards
+        # structured slow-query log: queries at or over the threshold
+        # emit one JSON line (task, fingerprint, tier, phase timings) to
+        # the sink — stderr by default, injectable for tests.  None
+        # disables the log entirely.
+        self.slow_query_threshold_s = slow_query_threshold_s
+        self._slow_query_sink = slow_query_sink
         self._lock = threading.Lock()  # cache + metrics bookkeeping
         self._compute_lock = threading.Lock()  # the global view caches
         self._inflight: Dict[CacheKey, _Inflight] = {}
@@ -227,6 +252,44 @@ class ServiceCore:
             if tier is not None:
                 stats[f"{tier}_hits"] += 1
             stats["latency_s"] += latency_s
+        # one histogram observation per answered query (no-op when obs
+        # is disabled): the latency distribution /metrics and the
+        # warehouse telemetry table chart across PRs
+        obs.observe(
+            "service_query_latency_s", latency_s, task=task, outcome=outcome
+        )
+
+    def _log_slow_query(
+        self,
+        task: str,
+        fingerprint: str,
+        tier: Optional[str],
+        latency_s: float,
+        phases: Dict[str, float],
+    ) -> None:
+        """Emit one JSON line for a query at or over the threshold."""
+        threshold = self.slow_query_threshold_s
+        if threshold is None or latency_s < threshold:
+            return
+        line = json.dumps(
+            {
+                "slow_query": True,
+                "task": task,
+                "fingerprint": fingerprint,
+                "tier": tier if tier is not None else "compute",
+                "latency_s": round(latency_s, 6),
+                "threshold_s": threshold,
+                "phases": {k: round(v, 6) for k, v in phases.items()},
+                "time": time.time(),
+            },
+            sort_keys=True,
+        )
+        sink = self._slow_query_sink
+        if sink is not None:
+            sink(line)
+        else:
+            print(line, file=sys.stderr, flush=True)
+        obs.inc("service_slow_queries", task=task)
 
     def metrics(self) -> Dict[str, Any]:
         """Hit/miss/error/latency counters, total and per task, plus the
@@ -362,66 +425,101 @@ class ServiceCore:
         leader and every follower — and re-raise for the transport to
         map."""
         self._check_task(task)
-        t0 = time.perf_counter()
-        form = canonical_form(graph)
-        key = (form.fingerprint, task)
-        record, tier = self._lookup(key)
-        if record is not None:
-            self._count(task, "hits", time.perf_counter() - t0, tier=tier)
-            return QueryResult(
-                task=task,
-                fingerprint=form.fingerprint,
-                cached=True,
-                record=record,
-                to_canonical=form.to_canonical,
-            )
-        flight, leader = self._join_inflight(key)
-        if not leader:
-            try:
-                record = flight.wait()
-            except ReproError:
-                self._count(task, "errors", time.perf_counter() - t0)
-                raise
-            self._count(
-                task, "hits", time.perf_counter() - t0, tier="inflight"
-            )
-            return QueryResult(
-                task=task,
-                fingerprint=form.fingerprint,
-                cached=True,
-                record=record,
-                to_canonical=form.to_canonical,
-            )
-        try:
-            record = self._compute_record(task, form)
-        except BaseException as exc:
-            # resolve the flight whatever happened — a leader that left
-            # waiters hanging would deadlock them.  Domain errors travel
-            # as themselves; anything else (KeyboardInterrupt, a bug)
-            # fails the waiters with a wrapper and re-raises here.
-            if isinstance(exc, ReproError):
-                self._count(task, "errors", time.perf_counter() - t0)
-                self._finish_inflight(key, flight, error=exc)
-            else:
-                self._finish_inflight(
-                    key,
-                    flight,
-                    error=ServiceError(
-                        f"concurrent compute of '{task}' failed: "
-                        f"{type(exc).__name__}: {exc}"
-                    ),
+        with obs.span("service.query", task=task) as qsp:
+            t0 = time.perf_counter()
+            with obs.span("service.fingerprint"):
+                form = canonical_form(graph)
+            t_fp = time.perf_counter()
+            key = (form.fingerprint, task)
+            with obs.span("service.cache_lookup"):
+                record, tier = self._lookup(key)
+            t_lookup = time.perf_counter()
+            phases = {
+                "fingerprint_s": t_fp - t0,
+                "lookup_s": t_lookup - t_fp,
+            }
+            if qsp.recording:
+                qsp.set("fingerprint", form.fingerprint[:16])
+            if record is not None:
+                latency_s = time.perf_counter() - t0
+                self._count(task, "hits", latency_s, tier=tier)
+                if qsp.recording:
+                    qsp.set("tier", tier)
+                self._log_slow_query(
+                    task, form.fingerprint, tier, latency_s, phases
                 )
-            raise
-        self._insert(key, record)
-        self._finish_inflight(key, flight, record=record)
-        self._count(task, "misses", time.perf_counter() - t0)
-        return QueryResult(
-            task=task,
-            fingerprint=form.fingerprint,
-            cached=False,
-            record=record,
-            to_canonical=form.to_canonical,
-        )
+                return QueryResult(
+                    task=task,
+                    fingerprint=form.fingerprint,
+                    cached=True,
+                    record=record,
+                    to_canonical=form.to_canonical,
+                )
+            flight, leader = self._join_inflight(key)
+            if not leader:
+                try:
+                    with obs.span("service.inflight_wait"):
+                        record = flight.wait()
+                except ReproError:
+                    self._count(task, "errors", time.perf_counter() - t0)
+                    raise
+                latency_s = time.perf_counter() - t0
+                phases["wait_s"] = latency_s - phases["fingerprint_s"] - (
+                    phases["lookup_s"]
+                )
+                self._count(task, "hits", latency_s, tier="inflight")
+                if qsp.recording:
+                    qsp.set("tier", "inflight")
+                self._log_slow_query(
+                    task, form.fingerprint, "inflight", latency_s, phases
+                )
+                return QueryResult(
+                    task=task,
+                    fingerprint=form.fingerprint,
+                    cached=True,
+                    record=record,
+                    to_canonical=form.to_canonical,
+                )
+            try:
+                t_compute = time.perf_counter()
+                with obs.span("service.compute", task=task):
+                    record = self._compute_record(task, form)
+                phases["compute_s"] = time.perf_counter() - t_compute
+            except BaseException as exc:
+                # resolve the flight whatever happened — a leader that
+                # left waiters hanging would deadlock them.  Domain
+                # errors travel as themselves; anything else
+                # (KeyboardInterrupt, a bug) fails the waiters with a
+                # wrapper and re-raises here.
+                if isinstance(exc, ReproError):
+                    self._count(task, "errors", time.perf_counter() - t0)
+                    self._finish_inflight(key, flight, error=exc)
+                else:
+                    self._finish_inflight(
+                        key,
+                        flight,
+                        error=ServiceError(
+                            f"concurrent compute of '{task}' failed: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+                raise
+            self._insert(key, record)
+            self._finish_inflight(key, flight, record=record)
+            latency_s = time.perf_counter() - t0
+            self._count(task, "misses", latency_s)
+            if qsp.recording:
+                qsp.set("tier", "compute")
+            self._log_slow_query(
+                task, form.fingerprint, None, latency_s, phases
+            )
+            return QueryResult(
+                task=task,
+                fingerprint=form.fingerprint,
+                cached=False,
+                record=record,
+                to_canonical=form.to_canonical,
+            )
 
     # ------------------------------------------------------------------
     # the batch path

@@ -17,11 +17,18 @@ A :class:`ThreadingHTTPServer` wrapping one shared
     request order.
 
 ``GET /healthz``
-    Liveness: status, uptime, cache tier sizes.
+    Liveness: status, uptime, cache tier sizes, and — in sharded mode —
+    per-shard health rows (alive flag, respawn count, timestamp and
+    cause of the last worker death).
 
 ``GET /metrics``
     The hit/miss/error/latency counters of
-    :meth:`~repro.service.api.ServiceCore.metrics`.
+    :meth:`~repro.service.api.ServiceCore.metrics`, as JSON by default.
+    Content negotiation: an ``Accept`` header naming ``text/plain`` or
+    ``openmetrics`` (what a Prometheus scraper sends), or the query
+    string ``?format=prometheus``, returns the same counters plus the
+    :mod:`repro.obs` registry in Prometheus text exposition format
+    0.0.4.
 
 Error mapping: malformed requests (bad JSON, bad graph, unknown task or
 route) return 400/404; a task failure on a valid graph (e.g. ``elect``
@@ -134,9 +141,28 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from None
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _wants_prometheus(self, path_query: str) -> bool:
+        """Content negotiation for ``GET /metrics``: a Prometheus
+        scraper's Accept header (``text/plain`` / OpenMetrics), or an
+        explicit ``?format=prometheus``, selects the text exposition;
+        everything else keeps the JSON body."""
+        if "format=prometheus" in path_query:
+            return True
+        accept = (self.headers.get("Accept") or "").lower()
+        return "text/plain" in accept or "openmetrics" in accept
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             metrics = self.core.metrics()
             pool = getattr(self.core, "_pool", None)
             self._send_json(
@@ -148,10 +174,28 @@ class _Handler(BaseHTTPRequestHandler):
                     "cache": metrics["cache"],
                     "shards": self.core.shards,
                     "shards_alive": pool.alive() if pool is not None else [],
+                    "shard_health": (
+                        pool.health() if pool is not None else []
+                    ),
                 },
             )
-        elif self.path == "/metrics":
-            self._send_json(200, self.core.metrics())
+        elif path == "/metrics":
+            if self._wants_prometheus(query):
+                from repro.obs import render_prometheus, take_snapshot
+
+                metrics = self.core.metrics()
+                flat = {
+                    key: float(value)
+                    for key, value in metrics.items()
+                    if isinstance(value, (int, float))
+                }
+                self._send_text(
+                    200,
+                    render_prometheus(take_snapshot(), extra_counters=flat),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                self._send_json(200, self.core.metrics())
         else:
             self._send_json(
                 404, {"error": "NotFound", "detail": f"no route {self.path}"}

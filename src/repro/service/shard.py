@@ -43,10 +43,12 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
-from typing import Any, List, Tuple
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.records import Record
 from repro.errors import ReproError, ServiceError
+from repro.obs import core as obs
 
 #: Hex digits of the fingerprint the route is computed from.  64 bits of
 #: a sha256 digest — uniform over shards for any realistic pool size.
@@ -71,12 +73,19 @@ def shard_of(fingerprint: str, num_shards: int) -> int:
 
 def _shard_worker_main(conn, orbit_collapse: bool) -> None:
     """The worker loop: recv ``("compute", task, fingerprint,
-    certificate)``, run the task on the canonical graph, reply ``("ok",
-    record)`` or ``("error", class-name, detail)``; ``("stop",)`` or a
-    closed pipe ends the loop.  Mirrors ``ServiceCore._compute`` exactly
-    — same canonical name, same orbit-collapsed ``elect`` fast path,
-    same clear-view-caches-per-query lifetime — which is what makes the
-    sharded records byte-identical to the in-process ones."""
+    certificate, obs_ctx)``, run the task on the canonical graph, reply
+    ``("ok", record, events)`` or ``("error", class-name, detail,
+    events)``; ``("stop",)`` or a closed pipe ends the loop.  Mirrors
+    ``ServiceCore._compute`` exactly — same canonical name, same
+    orbit-collapsed ``elect`` fast path, same
+    clear-view-caches-per-query lifetime — which is what makes the
+    sharded records byte-identical to the in-process ones.
+
+    ``obs_ctx`` is the parent's span context (or None when obs is off):
+    the worker brackets the compute in :class:`repro.obs.collect_remote`
+    and ships the captured span events back in the reply, so the
+    parent's trace stitches the shard's compute phases under the query
+    span."""
     from repro.engine.tasks import elect_record_via_orbits, get_task
     from repro.graphs.serialization import from_json
     from repro.service.cache import canonical_query_name
@@ -89,24 +98,29 @@ def _shard_worker_main(conn, orbit_collapse: bool) -> None:
             break
         if message[0] == "stop":
             break
-        _op, task, fingerprint, certificate = message
-        try:
-            graph = from_json(certificate)
-            name = canonical_query_name(fingerprint)
+        _op, task, fingerprint, certificate, obs_ctx = message
+        with obs.collect_remote(obs_ctx) as collected:
             try:
-                if task == "elect" and orbit_collapse:
-                    record = elect_record_via_orbits(name, graph)
-                else:
-                    record = get_task(task)(name, graph)
-            finally:
-                clear_view_caches()
-            if isinstance(record, list):
-                raise ServiceError(
-                    f"task '{task}' is multi-record and cannot be served"
-                )
-            reply: Tuple[Any, ...] = ("ok", record)
-        except Exception as exc:  # ship the class name for rebuilding
-            reply = ("error", type(exc).__name__, str(exc))
+                graph = from_json(certificate)
+                name = canonical_query_name(fingerprint)
+                with obs.span(
+                    "shard.compute", task=task, fingerprint=fingerprint[:16]
+                ):
+                    try:
+                        if task == "elect" and orbit_collapse:
+                            record = elect_record_via_orbits(name, graph)
+                        else:
+                            record = get_task(task)(name, graph)
+                    finally:
+                        clear_view_caches()
+                if isinstance(record, list):
+                    raise ServiceError(
+                        f"task '{task}' is multi-record and cannot be served"
+                    )
+                result: Tuple[Any, ...] = ("ok", record)
+            except Exception as exc:  # ship the class name for rebuilding
+                result = ("error", type(exc).__name__, str(exc))
+        reply = result + (collected.events,)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - parent died
@@ -162,6 +176,14 @@ class ShardPool:
         self._workers: List[Tuple[Any, Any]] = [
             self._spawn() for _ in range(num_shards)
         ]
+        # respawn history: ShardPool buries and replaces dead workers,
+        # but /healthz needs to say it happened — counts survive the
+        # respawn, each with the wall-clock time and cause of the last
+        # death (unix epoch seconds, the JSON-friendly choice)
+        self.restarts: List[int] = [0] * num_shards
+        self.last_errors: List[Optional[Dict[str, Any]]] = [
+            None
+        ] * num_shards
         self._closed = False
 
     def _spawn(self) -> Tuple[Any, Any]:
@@ -182,6 +204,20 @@ class ShardPool:
         """Per-shard liveness, for ``/healthz``."""
         return [proc.is_alive() for proc, _conn in self._workers]
 
+    def health(self) -> List[Dict[str, Any]]:
+        """Per-shard health rows for ``/healthz``: liveness plus the
+        respawn history (`restarts`, and the timestamp + cause of the
+        most recent worker death, or None if it never died)."""
+        return [
+            {
+                "shard": i,
+                "alive": proc.is_alive(),
+                "restarts": self.restarts[i],
+                "last_error": self.last_errors[i],
+            }
+            for i, (proc, _conn) in enumerate(self._workers)
+        ]
+
     def compute(self, task: str, fingerprint: str, certificate: str) -> Record:
         """Round-trip one compute through the fingerprint's shard.
 
@@ -194,7 +230,15 @@ class ShardPool:
         with self._locks[shard]:
             proc, conn = self._workers[shard]
             try:
-                conn.send(("compute", task, fingerprint, certificate))
+                conn.send(
+                    (
+                        "compute",
+                        task,
+                        fingerprint,
+                        certificate,
+                        obs.export_context(),
+                    )
+                )
                 reply = conn.recv()
             except (EOFError, BrokenPipeError, OSError):
                 # the worker died under us: bury it, respawn the shard,
@@ -204,14 +248,24 @@ class ShardPool:
                     proc.terminate()
                 proc.join(timeout=5)
                 self._workers[shard] = self._spawn()
+                detail = (
+                    f"worker died while computing '{task}' "
+                    f"on {fingerprint[:16]}"
+                )
+                self.restarts[shard] += 1
+                self.last_errors[shard] = {
+                    "time": time.time(),
+                    "error": detail,
+                }
+                obs.inc("shard_restarts", shard=shard)
                 raise ServiceError(
-                    f"shard {shard} worker died while computing '{task}' "
-                    f"on {fingerprint[:16]}; worker restarted, retry the "
+                    f"shard {shard} {detail}; worker restarted, retry the "
                     f"query"
                 ) from None
+        obs.ingest(reply[-1])
         if reply[0] == "ok":
             return reply[1]
-        _status, exc_name, detail = reply
+        _status, exc_name, detail, _events = reply
         raise _rebuild_error(exc_name, detail, shard)
 
     def close(self) -> None:

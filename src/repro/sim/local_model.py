@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 from repro.coding.bitstring import Bits
 from repro.errors import AlgorithmError, SimulationError
 from repro.graphs.port_graph import PortGraph
+from repro.obs import core as obs
 from repro.views.view import View
 
 #: Types a message may be built from in paranoid mode.
@@ -160,6 +161,30 @@ class SyncEngine:
         self._tracer = tracer
 
     def run(self) -> RunResult:
+        # the no-op path costs one flag check: the hot loops below carry
+        # no per-round or per-message instrumentation — per-round
+        # accounting is the Tracer's job, folded into the span on exit
+        if not obs.enabled():
+            return self._run_impl(self._tracer)
+        with obs.span("sim.run") as sp:
+            tracer = self._tracer
+            if tracer is None:
+                from repro.sim.trace import Tracer
+
+                tracer = Tracer()
+            result = self._run_impl(tracer)
+            sp.set("nodes", self._g.n)
+            sp.set("rounds", result.rounds)
+            sp.set("total_messages", result.total_messages)
+            sp.set("per_round_messages", list(result.per_round_messages))
+            if hasattr(tracer, "per_round"):  # a stub tracer may lack it
+                summary = tracer.summary()
+                sp.set("cost_dag_nodes", summary["cost_dag_nodes"])
+                sp.set("max_view_depth", summary["max_view_depth"])
+                sp.set("per_round_costs", tracer.per_round())
+            return result
+
+    def _run_impl(self, tracer: Optional[Any]) -> RunResult:
         g = self._g
         # flat delivery arrays: the edge out of u through port p is slot
         # offsets[u] + p, landing in inbox neighbors[slot] at local port
@@ -238,8 +263,8 @@ class SyncEngine:
                             _check_message(msg)
                     round_messages += len(out)
                 outboxes.append(out)
-            if self._tracer is not None:
-                self._tracer.record_round(rounds, outboxes)  # after all compose
+            if tracer is not None:
+                tracer.record_round(rounds, outboxes)  # after all compose
             # phase 2: simultaneous delivery, batched over the flat arrays
             for u in range(n):
                 out = outboxes[u]

@@ -32,6 +32,7 @@ from repro.coding.bitstring import Bits
 from repro.coding.concat import concat_bits, decode_concat
 from repro.coding.integers import decode_uint, encode_uint
 from repro.errors import SimulationError
+from repro.obs import core as obs
 from repro.sim.local_model import NodeAlgorithm, NodeContext
 from repro.views.view import View
 from repro.views.wire import (
@@ -135,6 +136,9 @@ class MessagePlane:
         self.decode_calls = 0
         self.decode_hits = 0
         _LIVE_PLANES.add(self)
+        # plane creation is a per-run boundary, not a per-message event:
+        # the encode/decode hot paths stay uninstrumented
+        obs.inc("strict_planes_created")
 
     def encode(self, msg: Any) -> Bits:
         self.encode_calls += 1

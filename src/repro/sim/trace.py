@@ -101,6 +101,15 @@ class Tracer:
     def total_cost(self) -> int:
         return sum(r.total_cost for r in self.rounds)
 
+    def per_round(self) -> List[List[int]]:
+        """JSON-safe per-round rows ``[round, messages, cost, depth]`` —
+        the shape :mod:`repro.obs` span attributes and the trace
+        exporters carry across process boundaries."""
+        return [
+            [r.round_index, r.messages, r.total_cost, r.max_view_depth]
+            for r in self.rounds
+        ]
+
     def summary(self) -> Dict[str, int]:
         return {
             "rounds": len(self.rounds),

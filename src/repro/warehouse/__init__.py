@@ -50,7 +50,12 @@ from repro.warehouse.io import (
     sniff_format,
 )
 from repro.warehouse.store import WarehouseStore
-from repro.warehouse.trend import render_trend, trend_table
+from repro.warehouse.trend import (
+    memory_trend,
+    render_trend,
+    telemetry_trend,
+    trend_table,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -62,8 +67,10 @@ __all__ = [
     "export_dataset",
     "import_file",
     "is_warehouse_path",
+    "memory_trend",
     "register_corpus_graphs",
     "render_trend",
+    "telemetry_trend",
     "sniff_format",
     "trend_table",
 ]

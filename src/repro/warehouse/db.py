@@ -112,6 +112,15 @@ CREATE TABLE IF NOT EXISTS graphs (
     PRIMARY KEY (dataset, name)
 );
 CREATE INDEX IF NOT EXISTS graphs_by_fingerprint ON graphs(fingerprint);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id          INTEGER PRIMARY KEY,
+    run_id      INTEGER REFERENCES runs(id),
+    kind        TEXT NOT NULL,
+    name        TEXT NOT NULL,
+    labels_json TEXT NOT NULL,
+    value_json  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS telemetry_by_run ON telemetry(run_id, kind, name);
 """
 
 
@@ -470,6 +479,103 @@ class Warehouse:
             "WHERE kind='bench' ORDER BY id"
         ).fetchall()
         return [(r[0], r[1], json.loads(r[2])) for r in rows]
+
+    # ------------------------------------------------------------------
+    # telemetry (the repro.obs shape: metric snapshots + span events)
+    # ------------------------------------------------------------------
+    def append_telemetry(
+        self,
+        run_id: int,
+        snapshot: Optional[Dict[str, Any]] = None,
+        events: Optional[Sequence[Dict[str, Any]]] = None,
+    ) -> int:
+        """Store an obs registry snapshot and/or a list of span events
+        under a run, as one transaction.
+
+        ``snapshot`` is :meth:`repro.obs.Registry.snapshot` output:
+        counters / gauges land as one row each (``value_json`` the
+        number), histograms as one row carrying count / sum / buckets.
+        ``events`` are span event dicts, one ``kind='span'`` row each.
+        Returns the number of rows inserted.  ``repro report --trend``
+        charts histogram rows across runs; ``repro obs export`` replays
+        span rows into a Chrome trace."""
+        rows: List[Tuple[str, str, str, str]] = []
+
+        def pack(kind: str, name: str, labels: Any, value: Any) -> None:
+            rows.append(
+                (
+                    kind,
+                    name,
+                    json.dumps(labels, sort_keys=True, separators=(",", ":")),
+                    json.dumps(value, sort_keys=True, separators=(",", ":")),
+                )
+            )
+
+        if snapshot:
+            for c in snapshot.get("counters", []):
+                pack("counter", c["name"], c.get("labels", {}), c["value"])
+            for g in snapshot.get("gauges", []):
+                pack("gauge", g["name"], g.get("labels", {}), g["value"])
+            for h in snapshot.get("histograms", []):
+                pack(
+                    "histogram",
+                    h["name"],
+                    h.get("labels", {}),
+                    {
+                        "count": h["count"],
+                        "sum": h["sum"],
+                        "buckets": h["buckets"],
+                        "bucket_counts": h["bucket_counts"],
+                    },
+                )
+        for ev in events or ():
+            pack("span", ev.get("name", "?"), {}, ev)
+        if not rows:
+            return 0
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.executemany(
+                "INSERT INTO telemetry(run_id, kind, name, labels_json, "
+                "value_json) VALUES (?, ?, ?, ?, ?)",
+                [(run_id,) + row for row in rows],
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return len(rows)
+
+    def telemetry_rows(
+        self,
+        run_id: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Telemetry rows in insertion order, optionally filtered by run
+        and kind; ``labels`` and ``value`` come back parsed."""
+        query = (
+            "SELECT run_id, kind, name, labels_json, value_json "
+            "FROM telemetry"
+        )
+        clauses, params = [], []
+        if run_id is not None:
+            clauses.append("run_id=?")
+            params.append(run_id)
+        if kind is not None:
+            clauses.append("kind=?")
+            params.append(kind)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id"
+        return [
+            {
+                "run_id": r[0],
+                "kind": r[1],
+                "name": r[2],
+                "labels": json.loads(r[3]),
+                "value": json.loads(r[4]),
+            }
+            for r in self._conn.execute(query, tuple(params))
+        ]
 
     # ------------------------------------------------------------------
     # health
